@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ablation: how much of the CXL workload slowdown is caused by the
+ * devices' tail-latency behaviour rather than their average
+ * latency/bandwidth?
+ *
+ * We re-run workloads against CXL-B with its hiccup process
+ * disabled ("a CXL-B with an ideal, deterministic controller") and
+ * against the stock device; the gap is the price of instability —
+ * the quantity the paper argues vendors should optimize
+ * (Implication/Recommendation #1).
+ */
+
+#include "bench/common.hh"
+#include "cpu/multicore.hh"
+#include "cxl/device_profile.hh"
+#include "mem/cxl_backend.hh"
+#include "workloads/synthetic_kernel.hh"
+
+using namespace cxlsim;
+
+namespace {
+
+cpu::RunResult
+runOn(const workloads::WorkloadProfile &w, mem::MemoryBackend *be)
+{
+    melody::Platform plat("EMR2S", "Local");  // CPU profile source
+    cpu::MultiCore mc(plat.cpu(), w.exec, be,
+                      workloads::makeKernels(w));
+    return mc.run();
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::header("Ablation",
+                  "Tail latencies vs averages: the cost of "
+                  "instability");
+
+    std::printf("%-18s %12s %14s %12s\n", "Workload", "S stock(%)",
+                "S no-tails(%)", "tail cost(pp)");
+    for (const char *n :
+         {"redis/ycsb-c", "520.omnetpp_r", "605.mcf_s",
+          "voltdb/ycsb-a", "bfs-web", "dlrm-inference"}) {
+        const auto w = bench::scaled(workloads::byName(n), 40000);
+
+        melody::Platform lp("EMR2S", "Local");
+        auto localBe = lp.makeBackend(3);
+        const auto base = runOn(w, localBe.get());
+
+        mem::CxlBackendConfig stockCfg;
+        stockCfg.profile = cxl::cxlB();
+        stockCfg.seed = 3;
+        mem::CxlBackend stock(stockCfg);
+        const auto sStock =
+            melody::slowdownPct(base, runOn(w, &stock));
+
+        mem::CxlBackendConfig idealCfg = stockCfg;
+        idealCfg.profile.hiccups = cxl::HiccupParams{};
+        idealCfg.profile.thermal = cxl::ThermalParams{};
+        idealCfg.profile.refreshHiding = 0.995;
+        mem::CxlBackend ideal(idealCfg);
+        const auto sIdeal =
+            melody::slowdownPct(base, runOn(w, &ideal));
+
+        std::printf("%-18s %12.1f %14.1f %12.1f\n", n, sStock,
+                    sIdeal, sStock - sIdeal);
+    }
+    std::printf("\nSame average latency and bandwidth; the delta is "
+                "purely the controller's latency (in)stability — "
+                "the dimension the paper urges as a first-class "
+                "evaluation metric.\n");
+    return 0;
+}

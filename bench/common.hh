@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches.
+ *
+ * Every bench prints the rows/series of one table or figure from
+ * the paper. Absolute values come from the simulator; EXPERIMENTS.md
+ * records paper-vs-measured for each experiment.
+ */
+
+#ifndef MELODY_BENCH_COMMON_HH
+#define MELODY_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/platform.hh"
+#include "core/slowdown.hh"
+#include "stats/summary.hh"
+#include "stats/table.hh"
+#include "workloads/suite.hh"
+
+namespace bench {
+
+inline void
+header(const std::string &fig, const std::string &what)
+{
+    std::printf("==================================================="
+                "=========\n");
+    std::printf("%s — %s\n", fig.c_str(), what.c_str());
+    std::printf("==================================================="
+                "=========\n");
+}
+
+inline void
+section(const std::string &name)
+{
+    std::printf("\n--- %s ---\n", name.c_str());
+}
+
+/** Cap a workload's run length so suite-wide sweeps stay fast. */
+inline cxlsim::workloads::WorkloadProfile
+scaled(const cxlsim::workloads::WorkloadProfile &w,
+       std::uint64_t max_blocks)
+{
+    cxlsim::workloads::WorkloadProfile s = w;
+    s.blocksPerCore = std::min(s.blocksPerCore, max_blocks);
+    return s;
+}
+
+/** Print a slowdown-CDF summary line for one setup. */
+inline void
+printCdfSummary(const std::string &setup,
+                const std::vector<double> &slowdowns)
+{
+    using cxlsim::stats::fractionBelow;
+    using cxlsim::stats::quantile;
+    std::printf("%-16s n=%-3zu  <5%%:%5.1f%%  <10%%:%5.1f%%  "
+                "<25%%:%5.1f%%  <50%%:%5.1f%%  p50=%6.1f  p90=%7.1f  "
+                "max=%8.1f\n",
+                setup.c_str(), slowdowns.size(),
+                100 * fractionBelow(slowdowns, 5.0),
+                100 * fractionBelow(slowdowns, 10.0),
+                100 * fractionBelow(slowdowns, 25.0),
+                100 * fractionBelow(slowdowns, 50.0),
+                quantile(slowdowns, 0.5), quantile(slowdowns, 0.9),
+                quantile(slowdowns, 1.0));
+}
+
+}  // namespace bench
+
+#endif  // MELODY_BENCH_COMMON_HH

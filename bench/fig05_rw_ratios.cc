@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 5: latency-bandwidth curves under read/write ratios
+ * 1:0, 4:1, 3:1, 2:1, 3:2, 1:1 for each memory setup. Key shapes:
+ * local DRAM peaks read-only (unidirectional DDR bus); NUMA and
+ * ASIC CXL devices peak under mixed traffic (duplex links); the
+ * FPGA CXL-C peaks read-only and degrades with writes.
+ */
+
+#include "bench/common.hh"
+#include "core/mlc.hh"
+
+using namespace cxlsim;
+
+int
+main()
+{
+    bench::header("Figure 5",
+                  "Latency-BW curves under read/write ratios");
+
+    struct Ratio
+    {
+        const char *label;
+        double readFrac;
+    };
+    const Ratio ratios[] = {{"1:0", 1.0},  {"4:1", 0.8},
+                            {"3:1", 0.75}, {"2:1", 0.667},
+                            {"3:2", 0.6},  {"1:1", 0.5}};
+
+    std::printf("%-7s %5s %12s %12s   (peak over the delay sweep)\n",
+                "Setup", "R:W", "PeakBW(GB/s)", "lat@peak(ns)");
+    for (const char *mem :
+         {"Local", "NUMA", "CXL-A", "CXL-B", "CXL-C", "CXL-D"}) {
+        melody::Platform plat(
+            std::string(mem) == "CXL-D" ? "EMR2S'" : "EMR2S", mem);
+        double bestRead = 0.0;
+        double bestMixed = 0.0;
+        for (const auto &r : ratios) {
+            melody::MlcConfig cfg;
+            cfg.readFrac = r.readFrac;
+            cfg.windowUs = 200;
+            cfg.warmupUs = 50;
+            const auto pts = melody::mlcSweep(
+                [&] { return plat.makeBackend(29); }, cfg,
+                {2000, 300, 0});
+            double peak = 0.0, latAtPeak = 0.0;
+            for (const auto &p : pts)
+                if (p.gbps > peak) {
+                    peak = p.gbps;
+                    latAtPeak = p.avgNs;
+                }
+            std::printf("%-7s %5s %12.2f %12.0f\n", mem, r.label,
+                        peak, latAtPeak);
+            if (r.readFrac == 1.0)
+                bestRead = peak;
+            else
+                bestMixed = std::max(bestMixed, peak);
+        }
+        std::printf("%-7s       read-only peak %.1f vs best mixed "
+                    "%.1f -> %s\n",
+                    mem, bestRead, bestMixed,
+                    bestRead > bestMixed ? "READ-ONLY BEST"
+                                         : "MIXED BEST");
+    }
+    std::printf("\nPaper shape: Local read-only best; NUMA + ASIC "
+                "CXL (A/B/D) mixed best;\nFPGA CXL-C read-only best "
+                "(Finding #1e).\n");
+    return 0;
+}

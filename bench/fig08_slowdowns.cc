@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Figure 8: CXL workload slowdowns across the full suite.
+ *  (a) slowdown CDFs for 265 workloads on NUMA and CXL-A/B/D
+ *      (+ CXL-C over its 60-workload capacity subset);
+ *  (b) the tail: worst slowdowns per setup (bandwidth-bound);
+ *  (c) CXL+NUMA vs 2-hop NUMA (SKX8S-410ns) on 121 workloads;
+ *  (d) 520.omnetpp latency CDF and slowdown vs workload intensity
+ *      under CXL+NUMA (tail-latency causality);
+ *  (e) SPR vs EMR slowdown CDFs under CXL-A/B;
+ *  (f) NUMA vs one and two interleaved CXL-D on SPEC (EMR2S').
+ */
+
+#include <algorithm>
+
+#include "bench/common.hh"
+
+using namespace cxlsim;
+
+namespace {
+constexpr std::uint64_t kMaxBlocks = 40000;
+}
+
+int
+main()
+{
+    bench::header("Figure 8", "Workload slowdowns at scale");
+    melody::SlowdownStudy study(4242);
+    const auto &all = workloads::suite();
+
+    bench::section("(a) slowdown CDFs, 265 workloads (EMR)");
+    std::vector<workloads::WorkloadProfile> scaledAll;
+    for (const auto &w : all)
+        scaledAll.push_back(bench::scaled(w, kMaxBlocks));
+    std::vector<std::pair<std::string, std::vector<double>>> tails;
+    for (const char *mem : {"NUMA", "CXL-D", "CXL-A", "CXL-B"}) {
+        std::vector<double> s =
+            study.slowdownBatch(scaledAll, "EMR2S", mem);
+        bench::printCdfSummary(mem, s);
+        tails.emplace_back(mem, std::move(s));
+    }
+    {
+        std::vector<workloads::WorkloadProfile> sub;
+        for (const auto &w : workloads::cxlCSubset())
+            sub.push_back(bench::scaled(w, kMaxBlocks));
+        bench::printCdfSummary(
+            "CXL-C (60 wl)",
+            study.slowdownBatch(sub, "EMR2S", "CXL-C"));
+    }
+    std::printf("Paper: NUMA 98%%<50%%; <10%%: D 60%%, A 54%%, "
+                "B 32%%; <5%%: 43/35/22%%.\n");
+
+    bench::section("(b) the slowdown tail (p90 and above)");
+    for (auto &[mem, s] : tails) {
+        std::sort(s.begin(), s.end());
+        std::printf("%-7s p90=%7.1f%%  p95=%7.1f%%  p99=%7.1f%%  "
+                    "max=%7.1f%%\n",
+                    mem.c_str(), stats::quantile(s, 0.90),
+                    stats::quantile(s, 0.95),
+                    stats::quantile(s, 0.99),
+                    stats::quantile(s, 1.0));
+    }
+    std::printf("Paper: 7%% of workloads at 1.5-5.8x on CXL-A/B "
+                "(bandwidth-bound); no such tail on NUMA/CXL-D.\n");
+
+    bench::section("(c) CXL+NUMA vs 2-hop NUMA (121 workloads)");
+    {
+        std::vector<workloads::WorkloadProfile> sub;
+        for (std::size_t i = 0; i < all.size() && sub.size() < 121;
+             i += 2)
+            sub.push_back(bench::scaled(all[i], kMaxBlocks));
+        bench::printCdfSummary(
+            "CXL-A", study.slowdownBatch(sub, "EMR2S", "CXL-A"));
+        bench::printCdfSummary(
+            "SKX8S-410ns",
+            study.slowdownBatch(sub, "SKX8S", "NUMA-410ns"));
+        bench::printCdfSummary(
+            "CXL-A+NUMA",
+            study.slowdownBatch(sub, "EMR2S", "CXL-A+NUMA"));
+        std::printf("Paper: CXL+NUMA is WORSE than 2-hop NUMA "
+                    "despite better average latency/bandwidth "
+                    "(tail-latency interference).\n");
+    }
+
+    bench::section("(d) 520.omnetpp under CXL+NUMA vs intensity");
+    {
+        auto w = workloads::byName("520.omnetpp_r");
+        for (double scale : {1.0, 0.5, 0.25}) {
+            auto v = w;
+            for (auto &ph : v.phases)
+                ph.intensity *= scale;
+            if (v.phases.empty())
+                v.phases.push_back({1.0, scale, 1.0, 1.0});
+            const double sCxl =
+                study.slowdown(v, "EMR2S", "CXL-A");
+            const double sCn =
+                study.slowdown(v, "EMR2S", "CXL-A+NUMA");
+            std::printf("intensity %4.2fx: CXL-A %6.1f%%   "
+                        "CXL-A+NUMA %6.1f%%\n",
+                        scale, sCxl, sCn);
+        }
+        std::printf("Paper: full intensity ~290%% under CXL+NUMA "
+                    "vs <5%% under CXL; halving intensity drops it "
+                    "to ~65%%, quartering to ~58%% — tails, not "
+                    "bandwidth, cause the slowdown.\n");
+    }
+
+    bench::section("(e) SPR vs EMR under CXL-A / CXL-B");
+    {
+        std::vector<workloads::WorkloadProfile> sub;
+        for (std::size_t i = 0; i < all.size(); i += 2)
+            sub.push_back(bench::scaled(all[i], kMaxBlocks));
+        for (const char *srv : {"SPR2S", "EMR2S"})
+            for (const char *mem : {"CXL-A", "CXL-B"})
+                bench::printCdfSummary(
+                    std::string(srv) + ":" + mem,
+                    study.slowdownBatch(sub, srv, mem));
+    }
+    std::printf("Paper: EMR's larger LLC yields similar CDFs — "
+                "cache size alone cannot absorb CXL latency.\n");
+
+    bench::section("(f) NUMA vs CXL-D x1 vs x2 (SPEC on EMR2S')");
+    {
+        std::vector<workloads::WorkloadProfile> spec;
+        for (const auto &w : workloads::familyWorkloads("SPEC"))
+            spec.push_back(bench::scaled(w, kMaxBlocks));
+        for (const char *mem : {"NUMA", "CXL-D", "CXL-Dx2"})
+            bench::printCdfSummary(
+                mem, study.slowdownBatch(spec, "EMR2S'", mem));
+        std::printf("Paper: interleaving two CXL-D (104GB/s) closes "
+                    "most of the gap to NUMA for bandwidth-bound "
+                    "workloads.\n");
+    }
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator itself:
+ * event-queue throughput, cache lookups, DRAM channel accesses,
+ * CXL device round trips, and end-to-end workload simulation rate.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cpu/cache.hh"
+#include "cpu/multicore.hh"
+#include "core/platform.hh"
+#include "cxl/device.hh"
+#include "dram/channel.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "workloads/suite.hh"
+#include "workloads/synthetic_kernel.hh"
+
+using namespace cxlsim;
+
+static void
+BM_EventQueue(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue q;
+        int sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            q.schedule(static_cast<Tick>((i * 7919) % 100000),
+                       [&sink] { ++sink; });
+        q.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueue);
+
+static void
+BM_CacheLookup(benchmark::State &state)
+{
+    cpu::Cache cache(2 * 1024 * 1024, 16);
+    Rng rng(1);
+    for (int i = 0; i < 32768; ++i)
+        cache.insert(static_cast<Addr>(i) * 64, 0,
+                     cpu::StallTag::kL2, false);
+    Tick ready;
+    cpu::StallTag home;
+    for (auto _ : state) {
+        const Addr a = rng.below(65536) * 64;
+        benchmark::DoNotOptimize(
+            cache.lookup(a, 1000, &ready, &home));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheLookup);
+
+static void
+BM_DramChannelAccess(benchmark::State &state)
+{
+    dram::ChannelConfig cfg;
+    cfg.timing = dram::ddr5_4800();
+    dram::Channel chan(cfg);
+    Rng rng(2);
+    Tick now = 0;
+    for (auto _ : state) {
+        const Addr a = rng.below(1 << 22) * 64;
+        now = chan.access(a, false, now);
+        benchmark::DoNotOptimize(now);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramChannelAccess);
+
+static void
+BM_CxlDeviceRead(benchmark::State &state)
+{
+    cxl::CxlDevice dev(cxl::cxlA(), 3);
+    Rng rng(4);
+    Tick now = 0;
+    for (auto _ : state) {
+        const Tick done = dev.read(rng.below(1 << 22) * 64, now);
+        now = done + nsToTicks(5);
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CxlDeviceRead);
+
+static void
+BM_WorkloadSimulation(benchmark::State &state)
+{
+    auto w = workloads::byName("605.mcf_s");
+    w.blocksPerCore = 10000;
+    for (auto _ : state) {
+        melody::Platform plat("EMR2S", "CXL-A");
+        auto be = plat.makeBackend(5);
+        cpu::MultiCore mc(plat.cpu(), w.exec, be.get(),
+                          workloads::makeKernels(w));
+        const auto r = mc.run();
+        benchmark::DoNotOptimize(r.wallTicks);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            w.instructionsPerCore());
+}
+BENCHMARK(BM_WorkloadSimulation);
+
+BENCHMARK_MAIN();

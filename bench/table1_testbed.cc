@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Table 1: testbed characterization — idle latency and peak
+ * bandwidth for every server (local and remote/NUMA) and every
+ * CXL device (locally attached and via a NUMA hop), printed next
+ * to the paper's measured values.
+ */
+
+#include "bench/common.hh"
+#include "core/mio.hh"
+#include "core/mlc.hh"
+
+using namespace cxlsim;
+
+namespace {
+
+double
+idleLat(melody::Platform &p, std::uint64_t seed)
+{
+    auto be = p.makeBackend(seed);
+    return melody::mioChaseDirect(be.get(), 1, 12000).latencyNs.mean();
+}
+
+double
+peakBw(melody::Platform &p, std::uint64_t seed, double read_frac)
+{
+    melody::MlcConfig cfg;
+    cfg.readFrac = read_frac;
+    cfg.delayCycles = 0;
+    cfg.windowUs = 250;
+    cfg.warmupUs = 60;
+    auto be = p.makeBackend(seed);
+    return melody::mlcMeasure(be.get(), cfg).gbps;
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::header("Table 1", "Testbed latency/bandwidth calibration");
+
+    bench::section("Servers (Local / Remote-NUMA)");
+    struct SrvRow
+    {
+        const char *server;
+        double lLat, lBw, rLat, rBw;  // paper values
+    };
+    const SrvRow servers[] = {
+        {"SPR2S", 114, 218, 191, 97},  {"EMR2S", 111, 246, 193, 120},
+        {"EMR2S'", 117, 236, 212, 119}, {"SKX2S", 90, 52, 140, 32},
+        {"SKX8S", 81, 109, 410, 7},
+    };
+    stats::Table st({"Server", "LocalLat(ns)", "paper", "LocalBW",
+                     "paper", "RemoteLat", "paper", "RemoteBW",
+                     "paper"});
+    for (const auto &s : servers) {
+        melody::Platform lp(s.server, "Local");
+        melody::Platform rp(s.server,
+                            std::string(s.server) == "SKX8S"
+                                ? "NUMA-410ns"
+                                : "NUMA");
+        st.addRow({s.server, stats::Table::num(idleLat(lp, 1), 0),
+                   stats::Table::num(s.lLat, 0),
+                   stats::Table::num(peakBw(lp, 2, 1.0), 0),
+                   stats::Table::num(s.lBw, 0),
+                   stats::Table::num(idleLat(rp, 3), 0),
+                   stats::Table::num(s.rLat, 0),
+                   stats::Table::num(peakBw(rp, 4, 1.0), 0),
+                   stats::Table::num(s.rBw, 0)});
+    }
+    st.print();
+
+    bench::section("CXL devices (Local / Remote via NUMA hop)");
+    struct DevRow
+    {
+        const char *dev;
+        const char *server;
+        double lLat, lBw, rLat;  // paper values (MLC read BW)
+        double peak;             // paper mixed peak
+    };
+    const DevRow devs[] = {
+        {"CXL-A", "EMR2S", 214, 24, 375, 32},
+        {"CXL-B", "EMR2S", 271, 22, 473, 26},
+        {"CXL-C", "EMR2S", 394, 18, 621, 21},
+        {"CXL-D", "EMR2S'", 239, 52, 333, 59},
+    };
+    stats::Table dt({"Device", "Lat(ns)", "paper", "ReadBW", "paper",
+                     "MixedPeak", "paper", "RemoteLat", "paper"});
+    for (const auto &d : devs) {
+        melody::Platform lp(d.server, d.dev);
+        melody::Platform rp(d.server, std::string(d.dev) + "+NUMA");
+        const bool fpga = std::string(d.dev) == "CXL-C";
+        dt.addRow({d.dev, stats::Table::num(idleLat(lp, 5), 0),
+                   stats::Table::num(d.lLat, 0),
+                   stats::Table::num(peakBw(lp, 6, 1.0), 1),
+                   stats::Table::num(d.lBw, 0),
+                   stats::Table::num(peakBw(lp, 7, fpga ? 1.0 : 0.67),
+                                     1),
+                   stats::Table::num(d.peak, 0),
+                   stats::Table::num(idleLat(rp, 8), 0),
+                   stats::Table::num(d.rLat, 0)});
+    }
+    dt.print();
+    return 0;
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tiering-policy bench: Spa's stall-cost metric vs classic
+ * access-count hotness (§5.7: "Spa offers a more effective
+ * alternative to conventional metrics like LLC misses... smarter
+ * tiering policy designs").
+ *
+ * The workload mixes a heavily-streamed region (huge access
+ * counts, but prefetch hides the latency) with pointer-chased
+ * pages (fewer accesses, every one a full stall). With a fast
+ * tier too small for both, access-count promotes the wrong pages;
+ * stall-cost promotes the chased pages and recovers more
+ * performance.
+ */
+
+#include "bench/common.hh"
+#include "cpu/multicore.hh"
+#include "mem/tiering_backend.hh"
+#include "workloads/synthetic_kernel.hh"
+
+using namespace cxlsim;
+
+namespace {
+
+cpu::RunResult
+runTiered(const workloads::WorkloadProfile &w,
+          mem::TieringPolicy policy, std::uint64_t fast_mb,
+          mem::TieringStats *stats_out)
+{
+    melody::Platform lp("EMR2S", "Local");
+    melody::Platform sp("EMR2S", "CXL-B");
+    mem::TieringBackend::Config cfg;
+    cfg.policy = policy;
+    cfg.fastCapacityBytes = fast_mb << 20;
+
+    mem::TieringBackend be("tiered", lp.makeBackend(71),
+                           sp.makeBackend(71), cfg);
+    cpu::MultiCore mc(lp.cpu(), w.exec, &be,
+                      workloads::makeKernels(w));
+    auto r = mc.run();
+    if (stats_out)
+        *stats_out = be.tieringStats();
+    return r;
+}
+
+const char *
+policyName(mem::TieringPolicy p)
+{
+    switch (p) {
+      case mem::TieringPolicy::kStatic:
+        return "static(first-touch)";
+      case mem::TieringPolicy::kAccessCount:
+        return "access-count";
+      default:
+        return "stall-cost(Spa)";
+    }
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::header("Tiering", "Spa stall-cost vs access-count policy");
+
+    // Stream+chase mix: streams dominate access counts; chased
+    // pages dominate suffered latency.
+    workloads::WorkloadProfile w =
+        workloads::byName("ubench-mix-4096m-i38");
+    w.blocksPerCore = 150000;
+    w.seqFrac = 0.45;
+    w.strideFrac = 0.0;
+    w.hotFrac = 0.30;
+    w.dependentFrac = 0.85;
+    w.loadsPerBlock = 0.6;
+    w.workingSetBytes = 1536ULL << 20;
+    w.zipfSkew = 0.9;  // chased pages have reuse worth capturing
+
+    melody::Platform lp("EMR2S", "Local");
+    melody::Platform sp("EMR2S", "CXL-B");
+    const auto allLocal = melody::runWorkload(w, lp, 71);
+    const auto allCxl = melody::runWorkload(w, sp, 71);
+    std::printf("all-local baseline;  all-CXL slowdown %.1f%%\n\n",
+                melody::slowdownPct(allLocal, allCxl));
+
+    std::printf("%-20s %8s %10s %12s %12s %10s\n", "policy",
+                "fastMB", "S(%)", "promotions", "fastAccess%",
+                "epochs");
+    for (std::uint64_t fastMb : {64ULL, 128ULL, 256ULL}) {
+        for (auto pol : {mem::TieringPolicy::kStatic,
+                         mem::TieringPolicy::kAccessCount,
+                         mem::TieringPolicy::kStallCost}) {
+            mem::TieringStats ts;
+            const auto r = runTiered(w, pol, fastMb, &ts);
+            std::printf("%-20s %8llu %9.1f%% %12llu %11.1f%% %10llu\n",
+                        policyName(pol),
+                        static_cast<unsigned long long>(fastMb),
+                        melody::slowdownPct(allLocal, r),
+                        static_cast<unsigned long long>(
+                            ts.promotions),
+                        100 * ts.fastFraction(),
+                        static_cast<unsigned long long>(ts.epochs));
+        }
+    }
+    // Scenario 2: write-heavy streaming alongside the chase. The
+    // store stream's RFO/writeback traffic inflates access counts
+    // on pages that never stall the core; the Spa metric ignores
+    // it and keeps the fast tier for the latency-critical pages.
+    bench::section("write-stream + chase (counts mislead)");
+    w.storesPerBlock = 0.5;
+    w.storeHotFrac = 0.0;
+    w.seqFrac = 0.05;
+    w.loadsPerBlock = 0.35;
+    const auto wl2 = melody::runWorkload(w, lp, 71);
+    const auto wc2 = melody::runWorkload(w, sp, 71);
+    std::printf("all-CXL slowdown %.1f%%\n", 
+                melody::slowdownPct(wl2, wc2));
+    std::printf("%-20s %8s %10s %12s\n", "policy", "fastMB",
+                "S(%)", "fastAccess%");
+    for (auto pol : {mem::TieringPolicy::kStatic,
+                     mem::TieringPolicy::kAccessCount,
+                     mem::TieringPolicy::kStallCost}) {
+        mem::TieringStats ts;
+        const auto r = runTiered(w, pol, 128, &ts);
+        std::printf("%-20s %8d %9.1f%% %11.1f%%\n",
+                    policyName(pol), 128,
+                    melody::slowdownPct(wl2, r),
+                    100 * ts.fastFraction());
+    }
+
+    std::printf("\nBoth dynamic policies recover most of the "
+                "static-placement gap; in this model their rankings "
+                "mostly agree because CXL-B charges prefetch and "
+                "store traffic real latency too (Finding #4 / #1c). "
+                "The substrate exposes the metric as a policy knob "
+                "for exploring the smarter tiering designs Spa "
+                "motivates (5.7).\n");
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * §5.7 use case: Spa-guided memory placement tuning. Period-based
+ * Spa flags bursty phases of 605.mcf; pinning the hot (Zipf-head)
+ * objects to local DRAM recovers most of the slowdown (the paper
+ * reports 13% -> 2% after relocating two 2GB objects).
+ */
+
+#include "bench/common.hh"
+#include "spa/advisor.hh"
+#include "spa/period.hh"
+
+using namespace cxlsim;
+
+int
+main()
+{
+    bench::header("Use case (5.7)", "Spa-guided placement tuning");
+
+    auto w = workloads::byName("605.mcf_s");
+    w.blocksPerCore = 120000;
+
+    // Step 1: period-based analysis flags the bursty phases.
+    melody::Platform lp("EMR2S", "Local");
+    melody::Platform tp("EMR2S", "CXL-A");
+    const auto base =
+        melody::runWorkload(w, lp, 51, true, usToTicks(15));
+    const auto test =
+        melody::runWorkload(w, tp, 51, true, usToTicks(15));
+    const auto periods = spa::periodAnalysis(
+        base.samples, test.samples,
+        base.counters.instructions / 20.0);
+    std::size_t bursty = 0;
+    for (const auto &p : periods)
+        bursty += p.breakdown.actual > 10.0;
+    std::printf("periods above 10%% slowdown: %zu / %zu\n", bursty,
+                periods.size());
+    const double frac = spa::suggestPinnedFraction(periods, 10.0);
+    std::printf("suggested pinned fraction of working set: %.2f\n",
+                frac);
+
+    // Step 2: pin the hot objects locally and re-measure.
+    for (double pin : {frac, 0.1, 0.3, 0.5}) {
+        const auto r =
+            spa::tunePlacement(w, "EMR2S", "CXL-A", pin, 51);
+        std::printf("pin %4.2f of WS -> slowdown %6.1f%% -> %6.1f%% "
+                    " (local serves %4.1f%% of requests)\n",
+                    pin, r.slowdownAllCxl, r.slowdownPinned,
+                    100 * r.fastRequestFraction);
+    }
+    std::printf("\nPaper: relocating the two hot 2GB objects cut "
+                "605.mcf's slowdown from 13%% to 2%%.\n");
+    return 0;
+}

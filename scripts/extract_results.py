@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Split a combined bench run into per-figure text files.
+
+Usage:
+    for b in build/bench/*; do echo "### $b"; $b; done > results/bench_all.txt
+    python3 scripts/extract_results.py results/bench_all.txt results/
+
+Each `### build/bench/<name>` section is written to
+`results/<name>.txt`, ready for inspection or plotting.
+"""
+
+import os
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    src, outdir = sys.argv[1], sys.argv[2]
+    os.makedirs(outdir, exist_ok=True)
+
+    current = None
+    buf: list[str] = []
+
+    def flush() -> None:
+        if current and buf:
+            path = os.path.join(outdir, f"{current}.txt")
+            with open(path, "w") as f:
+                f.writelines(buf)
+            print(f"wrote {path} ({len(buf)} lines)")
+
+    with open(src) as f:
+        for line in f:
+            if line.startswith("### "):
+                flush()
+                current = os.path.basename(line.split()[1])
+                buf = []
+                # Skip non-bench entries the shell glob picked up.
+                if current in ("CMakeFiles", "CTestTestfile.cmake",
+                               "cmake_install.cmake"):
+                    current = None
+            elif current:
+                buf.append(line)
+    flush()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

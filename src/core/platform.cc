@@ -1,0 +1,182 @@
+#include "platform.hh"
+
+#include "cxl/device_profile.hh"
+#include "dram/timing.hh"
+#include "mem/cxl_backend.hh"
+#include "mem/interleaved_backend.hh"
+#include "mem/local_backend.hh"
+#include "mem/numa_backend.hh"
+#include "sim/logging.hh"
+
+namespace melody {
+
+using namespace cxlsim;
+
+namespace {
+
+/** Per-server local-DRAM and UPI parameters (calibrated to the
+ *  Table 1 Local/Remote latency and bandwidth columns). */
+struct ServerSpec
+{
+    cpu::CpuProfile cpu;
+    mem::LocalDramConfig local;
+    /** UPI effective GB/s per direction and one-way ns. */
+    double upiGBps;
+    double upiPropNs;
+};
+
+ServerSpec
+serverSpec(const std::string &server)
+{
+    ServerSpec s;
+    if (server == "SPR2S") {
+        s.cpu = cpu::spr();
+        s.local.baseNs = 66.0;  // -> ~114ns idle random latency
+        s.local.channels = 8;
+        s.local.timing = dram::ddr5_4800();
+        s.upiGBps = 97.0;
+        s.upiPropNs = 33.0;     // -> ~191ns remote
+    } else if (server == "EMR2S") {
+        s.cpu = cpu::emr();
+        s.local.baseNs = 63.0;  // -> ~111ns
+        s.local.channels = 8;
+        s.local.timing = dram::ddr5_4800();
+        s.upiGBps = 120.0;
+        s.upiPropNs = 36.0;     // -> ~193ns
+    } else if (server == "EMR2S'") {
+        s.cpu = cpu::emrPrime();
+        s.local.baseNs = 69.0;  // -> ~117ns
+        s.local.channels = 8;
+        s.local.timing = dram::ddr5_4800();
+        s.upiGBps = 119.0;
+        s.upiPropNs = 43.0;     // -> ~212ns
+    } else if (server == "SKX2S") {
+        s.cpu = cpu::skx();
+        s.local.baseNs = 40.0;  // -> ~90ns
+        s.local.channels = 6;
+        s.local.timing = dram::ddr4_2933();
+        s.upiGBps = 32.0;
+        s.upiPropNs = 21.0;     // -> ~140ns
+    } else if (server == "SKX8S") {
+        s.cpu = cpu::skx();
+        s.cpu.name = "SKX8S";
+        s.cpu.freqGhz = 2.5;
+        s.cpu.l3 = {38500ULL * 1024, 11, 46.0};
+        s.local.baseNs = 33.0;  // -> ~81ns
+        s.local.channels = 6;
+        s.local.timing = dram::ddr4_2933();
+        s.upiGBps = 7.0;        // 8-socket multi-hop path
+        s.upiPropNs = 160.0;    // -> ~410ns
+    } else {
+        SIM_FATAL("unknown server: " + server);
+    }
+    s.local.name = "Local";
+    return s;
+}
+
+/** Extra one-way UPI propagation for the SKX emulated points. */
+double
+emulatedNumaProp(const std::string &memory, const ServerSpec &s)
+{
+    if (memory == "NUMA-140ns")
+        return 21.0;
+    if (memory == "NUMA-190ns")
+        return 46.0;  // lowered uncore frequency
+    if (memory == "NUMA-410ns")
+        return 160.0;
+    return s.upiPropNs;
+}
+
+}  // namespace
+
+Platform::Platform(std::string server, std::string memory)
+    : server_(std::move(server)), memory_(std::move(memory)),
+      cpu_(serverSpec(server_).cpu)
+{
+}
+
+std::string
+Platform::displayName() const
+{
+    return cpu_.name + ":" + memory_;
+}
+
+mem::BackendPtr
+Platform::makeBackend(std::uint64_t seed) const
+{
+    const ServerSpec s = serverSpec(server_);
+
+    auto makeLocal = [&](std::uint64_t sd) {
+        mem::LocalDramConfig cfg = s.local;
+        cfg.seed = sd;
+        return std::make_unique<mem::LocalDramBackend>(cfg);
+    };
+
+    if (memory_ == "Local")
+        return makeLocal(seed);
+
+    if (memory_.rfind("NUMA", 0) == 0) {
+        mem::NumaHopConfig hop;
+        hop.upi.gbpsPerDir = s.upiGBps;
+        hop.upi.propagationNs = emulatedNumaProp(memory_, s);
+        hop.seed = seed ^ 0x5bd1e995;
+        return std::make_unique<mem::NumaBackend>(
+            memory_, makeLocal(seed + 1), hop);
+    }
+
+    if (memory_.rfind("CXL-Dx2", 0) == 0) {
+        std::vector<mem::BackendPtr> devs;
+        for (unsigned i = 0; i < 2; ++i) {
+            mem::CxlBackendConfig cfg;
+            cfg.profile = cxl::cxlD();
+            cfg.seed = seed + 17 * (i + 1);
+            devs.push_back(
+                std::make_unique<mem::CxlBackend>(cfg));
+        }
+        return std::make_unique<mem::InterleavedBackend>(
+            "CXL-Dx2", std::move(devs));
+    }
+
+    if (memory_.rfind("CXL-", 0) == 0) {
+        const std::string dev = memory_.substr(0, 5);  // "CXL-X"
+        const std::string suffix = memory_.substr(5);
+        mem::CxlBackendConfig cfg;
+        cfg.profile = cxl::profileByName(dev);
+        cfg.seed = seed ^ 0x85ebca6b;
+        if (suffix == "+Switch")
+            cfg.switchHops = 1;
+        else if (suffix == "+Switch2")
+            cfg.switchHops = 2;
+        auto device = std::make_unique<mem::CxlBackend>(cfg);
+
+        if (suffix == "+NUMA") {
+            mem::NumaHopConfig hop;
+            hop.upi.gbpsPerDir = s.upiGBps;
+            hop.upi.propagationNs = s.upiPropNs;
+            hop.extraNs = 8.0 + cfg.profile.numaExtraNs;
+            // CXL traffic crossing UPI: contention-coupled jitter —
+            // the source of the paper's CXL+NUMA tail anomaly.
+            hop.jitter.probAtRef = 0.02;
+            hop.jitter.refReqPerUs = 1.5;
+            hop.jitter.minNs = 150.0;
+            hop.jitter.maxNs = 800.0;
+            hop.jitter.alpha = 1.1;
+            hop.jitter.episodeProb = 0.012;
+            hop.jitter.episodeDurUs = 15.0;
+            hop.jitter.episodeMinNs = 800.0;
+            hop.jitter.episodeMaxNs = 3500.0;
+            hop.jitter.episodeAlpha = 1.3;
+            hop.seed = seed ^ 0xc2b2ae35;
+            return std::make_unique<mem::NumaBackend>(
+                memory_, std::move(device), hop);
+        }
+        SIM_ASSERT(suffix.empty() || suffix == "+Switch" ||
+                       suffix == "+Switch2",
+                   "unknown CXL setup suffix: " + memory_);
+        return device;
+    }
+
+    SIM_FATAL("unknown memory setup: " + memory_);
+}
+
+}  // namespace melody

@@ -1,0 +1,114 @@
+#include "cache.hh"
+
+#include "sim/logging.hh"
+
+namespace cxlsim::cpu {
+
+Cache::Cache(std::uint64_t size_bytes, unsigned ways)
+    : sets_(size_bytes / (kCacheLineBytes * ways)), ways_(ways)
+{
+    SIM_ASSERT(sets_ >= 1, "cache too small");
+    lines_.resize(sets_ * ways_);
+}
+
+Cache::Line *
+Cache::find(Addr line_addr)
+{
+    const std::uint64_t set = (line_addr / kCacheLineBytes) % sets_;
+    Line *base = &lines_[set * ways_];
+    for (unsigned w = 0; w < ways_; ++w)
+        if (base[w].valid && base[w].tag == line_addr)
+            return &base[w];
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::find(Addr line_addr) const
+{
+    return const_cast<Cache *>(this)->find(line_addr);
+}
+
+LookupResult
+Cache::lookup(Addr line_addr, Tick now, Tick *ready_at, StallTag *home)
+{
+    Line *l = find(line_addr);
+    if (!l) {
+        ++misses_;
+        return LookupResult::kMiss;
+    }
+    l->lruStamp = ++stamp_;
+    if (l->readyAt > now) {
+        ++pendingHits_;
+        if (ready_at)
+            *ready_at = l->readyAt;
+        if (home)
+            *home = l->home;
+        return LookupResult::kPending;
+    }
+    ++hits_;
+    return LookupResult::kHit;
+}
+
+bool
+Cache::contains(Addr line_addr) const
+{
+    return find(line_addr) != nullptr;
+}
+
+Eviction
+Cache::insert(Addr line_addr, Tick ready_at, StallTag home, bool dirty)
+{
+    Eviction ev;
+    if (Line *existing = find(line_addr)) {
+        // Refill of a present line: refresh fill state.
+        existing->readyAt = ready_at;
+        existing->home = home;
+        existing->dirty = existing->dirty || dirty;
+        existing->lruStamp = ++stamp_;
+        return ev;
+    }
+
+    const std::uint64_t set = (line_addr / kCacheLineBytes) % sets_;
+    Line *base = &lines_[set * ways_];
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &cand = base[w];
+        if (!cand.valid) {
+            victim = &cand;
+            break;
+        }
+        // Plain LRU victim selection (pending fills are treated
+        // like any other line: a squashed in-flight prefetch).
+        if (!victim || cand.lruStamp < victim->lruStamp)
+            victim = &cand;
+    }
+
+    if (victim->valid) {
+        ev.valid = true;
+        ev.dirty = victim->dirty;
+        ev.lineAddr = victim->tag;
+    }
+    victim->valid = true;
+    victim->tag = line_addr;
+    victim->readyAt = ready_at;
+    victim->home = home;
+    victim->dirty = dirty;
+    victim->lruStamp = ++stamp_;
+    return ev;
+}
+
+void
+Cache::markDirty(Addr line_addr)
+{
+    if (Line *l = find(line_addr))
+        l->dirty = true;
+}
+
+void
+Cache::invalidate(Addr line_addr)
+{
+    if (Line *l = find(line_addr))
+        l->valid = false;
+}
+
+}  // namespace cxlsim::cpu

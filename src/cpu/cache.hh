@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Set-associative cache with pending-line (fill-in-progress)
+ * semantics.
+ *
+ * A line is inserted the moment its fill request is issued, with a
+ * readyTick in the future; until then the line is "pending" and a
+ * hit on it is a *delayed hit* that must wait for arrival. Each
+ * pending line carries a home StallTag — the level a demand load
+ * waiting on it is charged to. This is the substrate for the
+ * paper's prefetch-timeliness findings (§5.4): a demand load that
+ * catches a pending L2-streamer line stalls on "L2" (or LLC on
+ * SPR/EMR) even though the data is actually in flight from CXL.
+ */
+
+#ifndef CXLSIM_CPU_CACHE_HH
+#define CXLSIM_CPU_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/counters.hh"
+#include "sim/types.hh"
+
+namespace cxlsim::cpu {
+
+/** Result of a cache lookup. */
+enum class LookupResult : std::uint8_t {
+    kHit,       ///< Present and ready.
+    kPending,   ///< Present but still filling; see readyAt.
+    kMiss,      ///< Not present.
+};
+
+/** A victim evicted by insert(); valid==false when none. */
+struct Eviction
+{
+    bool valid = false;
+    bool dirty = false;
+    Addr lineAddr = 0;
+};
+
+/**
+ * One cache level. Addresses are line-aligned; LRU replacement.
+ * Pending lines are never chosen as victims while filling unless
+ * the whole set is pending (then the oldest fill is dropped —
+ * models a squashed prefetch).
+ */
+class Cache
+{
+  public:
+    /**
+     * @param size_bytes Capacity.
+     * @param ways       Associativity.
+     */
+    Cache(std::uint64_t size_bytes, unsigned ways);
+
+    /**
+     * Look up @p line_addr at time @p now. Updates LRU on hit.
+     *
+     * @param ready_at Out: arrival tick when kPending.
+     * @param home     Out: stall attribution tag when kPending.
+     */
+    LookupResult lookup(Addr line_addr, Tick now, Tick *ready_at,
+                        StallTag *home);
+
+    /** True if the line is present (ready or pending). */
+    bool contains(Addr line_addr) const;
+
+    /**
+     * Insert a line filling at @p ready_at with attribution
+     * @p home; returns the eviction, if any.
+     *
+     * @param dirty Install in modified state (RFO fills).
+     */
+    Eviction insert(Addr line_addr, Tick ready_at, StallTag home,
+                    bool dirty);
+
+    /** Mark a present line dirty (store commit); no-op on miss. */
+    void markDirty(Addr line_addr);
+
+    /** Invalidate a line if present (used by tests). */
+    void invalidate(Addr line_addr);
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t pendingHits() const { return pendingHits_; }
+
+    std::uint64_t sets() const { return sets_; }
+    unsigned ways() const { return ways_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        Tick readyAt = 0;
+        std::uint64_t lruStamp = 0;
+        StallTag home = StallTag::kDram;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    Line *find(Addr line_addr);
+    const Line *find(Addr line_addr) const;
+
+    std::uint64_t sets_;
+    unsigned ways_;
+    std::vector<Line> lines_;
+    std::uint64_t stamp_ = 0;
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t pendingHits_ = 0;
+};
+
+}  // namespace cxlsim::cpu
+
+#endif  // CXLSIM_CPU_CACHE_HH

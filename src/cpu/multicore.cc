@@ -1,0 +1,82 @@
+#include "multicore.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace cxlsim::cpu {
+
+MultiCore::MultiCore(const CpuProfile &profile,
+                     const CoreExecParams &exec,
+                     mem::MemoryBackend *backend,
+                     std::vector<std::unique_ptr<Kernel>> kernels,
+                     bool prefetchers_on)
+    : kernels_(std::move(kernels)), backend_(backend)
+{
+    SIM_ASSERT(!kernels_.empty(), "need at least one kernel");
+    hier_ = std::make_unique<MemoryHierarchy>(
+        profile, static_cast<unsigned>(kernels_.size()), backend,
+        prefetchers_on);
+    const std::uint64_t preloadBudget = static_cast<std::uint64_t>(
+        0.7 * static_cast<double>(profile.l3.sizeBytes) /
+        static_cast<double>(kernels_.size()));
+    for (unsigned c = 0; c < kernels_.size(); ++c) {
+        kernels_[c]->forEachPreloadLine(
+            [&](Addr a) { hier_->preload(c, a); }, preloadBudget);
+        cores_.push_back(std::make_unique<Core>(
+            profile, exec, hier_.get(), c, kernels_[c].get()));
+    }
+}
+
+void
+MultiCore::enableSampling(Tick interval)
+{
+    cores_[0]->enableSampling(interval, &samples_);
+}
+
+RunResult
+MultiCore::run()
+{
+    backend_->resetStats();
+
+    // Advance the earliest core until all kernels finish.
+    std::size_t live = cores_.size();
+    while (live > 0) {
+        Core *earliest = nullptr;
+        for (auto &c : cores_) {
+            if (c->done())
+                continue;
+            if (!earliest || c->now() < earliest->now())
+                earliest = c.get();
+        }
+        if (!earliest)
+            break;
+        if (!earliest->step())
+            --live;
+    }
+
+    RunResult r;
+    for (auto &c : cores_) {
+        r.wallTicks = std::max(r.wallTicks, c->now());
+        r.counters += c->counters();
+    }
+    // Normalize counters to a per-core view so Spa's cycle
+    // denominators match wall time for symmetric threads.
+    const double n = static_cast<double>(cores_.size());
+    r.counters.cycles /= n;
+    r.counters.instructions /= n;
+    r.counters.p1 /= n;
+    r.counters.p2 /= n;
+    r.counters.p3 /= n;
+    r.counters.p4 /= n;
+    r.counters.p5 /= n;
+    r.counters.p6 /= n;
+    r.counters.p7 /= n;
+    r.counters.p8 /= n;
+    r.counters.p9 /= n;
+    r.samples = std::move(samples_);
+    r.backendStats = backend_->stats();
+    return r;
+}
+
+}  // namespace cxlsim::cpu

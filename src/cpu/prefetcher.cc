@@ -1,0 +1,123 @@
+#include "prefetcher.hh"
+
+namespace cxlsim::cpu {
+
+namespace {
+constexpr unsigned kStrideTableSize = 64;
+}
+
+StridePrefetcher::StridePrefetcher(const PrefetcherConfig &cfg)
+    : cfg_(cfg), table_(kStrideTableSize)
+{
+}
+
+void
+StridePrefetcher::observe(unsigned stream_id, Addr line_addr,
+                          std::vector<Addr> *out)
+{
+    out->clear();
+    if (!cfg_.enabled)
+        return;
+    Entry &e = table_[stream_id % kStrideTableSize];
+    const auto line = static_cast<std::int64_t>(
+        line_addr / kCacheLineBytes);
+    if (!e.valid) {
+        e.valid = true;
+        e.lastLine = line_addr;
+        e.strideLines = 0;
+        e.confidence = 0;
+        return;
+    }
+    const std::int64_t stride =
+        line - static_cast<std::int64_t>(e.lastLine / kCacheLineBytes);
+    if (stride != 0 && stride == e.strideLines) {
+        if (e.confidence < cfg_.trainThreshold)
+            ++e.confidence;
+    } else {
+        e.strideLines = stride;
+        e.confidence = (stride != 0) ? 1 : 0;
+    }
+    e.lastLine = line_addr;
+    if (e.confidence < cfg_.trainThreshold || e.strideLines == 0)
+        return;
+
+    ++triggers_;
+    for (unsigned d = 1; d <= cfg_.distance; ++d) {
+        const std::int64_t target = line + e.strideLines * d;
+        if (target < 0)
+            break;
+        out->push_back(static_cast<Addr>(target) * kCacheLineBytes);
+    }
+}
+
+StreamPrefetcher::StreamPrefetcher(const PrefetcherConfig &cfg)
+    : cfg_(cfg), streams_(kStreams)
+{
+}
+
+void
+StreamPrefetcher::observe(Addr line_addr, unsigned inflight_budget,
+                          std::vector<Addr> *out)
+{
+    out->clear();
+    if (!cfg_.enabled || inflight_budget == 0)
+        return;
+    const Addr page = line_addr / kPageBytes;
+    const Addr line = line_addr / kCacheLineBytes;
+
+    // Find or allocate the page's stream (LRU replacement).
+    Stream *s = nullptr;
+    Stream *lru = &streams_[0];
+    for (auto &cand : streams_) {
+        if (cand.valid && cand.page == page) {
+            s = &cand;
+            break;
+        }
+        if (cand.lruStamp < lru->lruStamp)
+            lru = &cand;
+    }
+    if (!s) {
+        s = lru;
+        s->valid = true;
+        s->page = page;
+        s->lastLine = line;
+        s->head = line + 1;
+        s->confidence = 0;
+        s->lruStamp = ++stamp_;
+        return;
+    }
+    s->lruStamp = ++stamp_;
+
+    // Train only on strictly sequential progress: sparse forward
+    // jumps within a page (e.g. Zipf-hot revisits) are not streams
+    // and must not trigger useless page blasts.
+    if (line == s->lastLine + 1) {
+        if (s->confidence < cfg_.trainThreshold)
+            ++s->confidence;
+    } else if (line != s->lastLine) {
+        s->confidence = line > s->lastLine ? 1 : 0;
+        s->head = line + 1;
+    }
+    s->lastLine = line;
+    if (s->confidence < cfg_.trainThreshold)
+        return;
+
+    // Nominate from the frontier up to distance ahead of the
+    // demand, bounded by the page, the in-flight budget, and a
+    // per-trigger ramp (real streamers increase degree gradually;
+    // without the cap, one Zipf-hot page revisit would blast a
+    // whole page of useless prefetches).
+    constexpr unsigned kMaxPerTrigger = 4;
+    const Addr pageEnd = (page + 1) * (kPageBytes / kCacheLineBytes);
+    const Addr limit = std::min<Addr>(line + cfg_.distance + 1, pageEnd);
+    Addr from = std::max(s->head, line + 1);
+    unsigned budget = std::min(inflight_budget, kMaxPerTrigger);
+    while (from < limit && budget > 0) {
+        out->push_back(from * kCacheLineBytes);
+        ++from;
+        --budget;
+    }
+    s->head = from;
+}
+
+}  // namespace cxlsim::cpu

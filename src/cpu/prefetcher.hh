@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Hardware prefetcher models (paper Figure 2a, "L1PF"/"L2PF").
+ *
+ * - StridePrefetcher: the L1 IP-stride prefetcher. Trains on the
+ *   demand-load stream per instruction context (streamId) and
+ *   fetches a short distance ahead.
+ * - StreamPrefetcher: the L2 streamer. Trains on L1 misses within
+ *   a 4KB page and runs a further distance ahead, limited by an
+ *   in-flight budget. Under CXL's longer latency the budget pins
+ *   the stream head closer to the demand stream, cutting coverage
+ *   — the mechanism behind Finding #4.
+ *
+ * Prefetchers only *nominate* lines; the MemoryHierarchy filters
+ * against cache contents and MSHR budgets and issues requests.
+ */
+
+#ifndef CXLSIM_CPU_PREFETCHER_HH
+#define CXLSIM_CPU_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/profile.hh"
+#include "sim/types.hh"
+
+namespace cxlsim::cpu {
+
+/** L1 IP-stride prefetcher. */
+class StridePrefetcher
+{
+  public:
+    explicit StridePrefetcher(const PrefetcherConfig &cfg);
+
+    /**
+     * Observe a demand load and append nominated prefetch line
+     * addresses to @p out (cleared first).
+     *
+     * @param stream_id Instruction-context id (stands in for the IP).
+     * @param line_addr Line-aligned demand address.
+     */
+    void observe(unsigned stream_id, Addr line_addr,
+                 std::vector<Addr> *out);
+
+    std::uint64_t trainedTriggers() const { return triggers_; }
+
+  private:
+    struct Entry
+    {
+        Addr lastLine = 0;
+        std::int64_t strideLines = 0;
+        unsigned confidence = 0;
+        bool valid = false;
+    };
+
+    PrefetcherConfig cfg_;
+    std::vector<Entry> table_;
+    std::uint64_t triggers_ = 0;
+};
+
+/** L2 streamer prefetcher. */
+class StreamPrefetcher
+{
+  public:
+    explicit StreamPrefetcher(const PrefetcherConfig &cfg);
+
+    /**
+     * Observe an L1-miss access and append nominated line
+     * addresses to @p out (cleared first). @p inflight_budget is
+     * the remaining MSHR budget — the streamer never nominates
+     * more than that.
+     */
+    void observe(Addr line_addr, unsigned inflight_budget,
+                 std::vector<Addr> *out);
+
+  private:
+    struct Stream
+    {
+        Addr page = 0;
+        Addr lastLine = 0;
+        /** Furthest line nominated so far (exclusive frontier). */
+        Addr head = 0;
+        unsigned confidence = 0;
+        bool valid = false;
+        std::uint64_t lruStamp = 0;
+    };
+
+    static constexpr unsigned kStreams = 32;
+    static constexpr Addr kPageBytes = 4096;
+
+    PrefetcherConfig cfg_;
+    std::vector<Stream> streams_;
+    std::uint64_t stamp_ = 0;
+};
+
+}  // namespace cxlsim::cpu
+
+#endif  // CXLSIM_CPU_PREFETCHER_HH

@@ -1,0 +1,62 @@
+#include "profile.hh"
+
+namespace cxlsim::cpu {
+
+CpuProfile
+skx()
+{
+    CpuProfile p;
+    p.name = "SKX";
+    p.freqGhz = 2.2;
+    p.issueWidth = 4;
+    p.robSize = 224;
+    p.lfbEntries = 12;
+    p.storeBufferEntries = 56;
+    p.l1 = {32 * 1024, 8, 4.0};
+    p.l2 = {1024 * 1024, 16, 14.0};
+    p.l3 = {13800ULL * 1024, 11, 44.0};
+    p.l1pf = {true, 6, 16, 2};
+    p.l2pf = {true, 18, 20, 3};
+    p.l2pfFillsL3 = false;  // streamer fills L2 -> sL2 slowdown
+    return p;
+}
+
+CpuProfile
+spr()
+{
+    CpuProfile p;
+    p.name = "SPR";
+    p.freqGhz = 2.1;
+    p.issueWidth = 6;
+    p.robSize = 512;
+    p.lfbEntries = 16;
+    p.storeBufferEntries = 112;
+    p.l1 = {48 * 1024, 12, 5.0};
+    p.l2 = {2048 * 1024, 16, 16.0};
+    p.l3 = {60ULL * 1024 * 1024, 15, 50.0};
+    p.l1pf = {true, 8, 24, 2};  // offcore L1PF uses the superqueue
+    p.l2pf = {true, 24, 28, 3};
+    p.l2pfFillsL3 = true;  // LLC-biased streamer -> sL3 slowdown
+    return p;
+}
+
+CpuProfile
+emr()
+{
+    CpuProfile p = spr();
+    p.name = "EMR";
+    p.l3 = {160ULL * 1024 * 1024, 16, 52.0};
+    return p;
+}
+
+CpuProfile
+emrPrime()
+{
+    CpuProfile p = spr();
+    p.name = "EMR'";
+    p.freqGhz = 2.3;
+    p.l3 = {260ULL * 1024 * 1024, 16, 55.0};
+    return p;
+}
+
+}  // namespace cxlsim::cpu

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * CPU microarchitecture profiles for the testbed processors
+ * (Table 1): Skylake-SP (SKX), Sapphire Rapids (SPR), Emerald
+ * Rapids (EMR / EMR').
+ *
+ * The parameters that matter for CXL tolerance are captured: core
+ * frequency, issue width, ROB size (how far the window can run
+ * ahead of a miss), line-fill-buffer entries (demand/L1PF MLP),
+ * L2 prefetch MSHR budget (L2 streamer in-flight limit — the
+ * mechanism behind Finding #4's coverage loss), store buffer
+ * entries, cache geometry, and where the L2 streamer installs its
+ * prefetches (SKX fills L2; SPR/EMR bias toward LLC, which moves
+ * the cache slowdown from sL2 to sL3 as the paper observes in
+ * §5.4).
+ */
+
+#ifndef CXLSIM_CPU_PROFILE_HH
+#define CXLSIM_CPU_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace cxlsim::cpu {
+
+/** Geometry and access latency of one cache level. */
+struct CacheGeometry
+{
+    std::uint64_t sizeBytes;
+    unsigned ways;
+    /** Load-to-use latency in core cycles. */
+    double latencyCycles;
+};
+
+/** Hardware prefetcher knobs. */
+struct PrefetcherConfig
+{
+    bool enabled = true;
+    /** Lines ahead of the observed stream to fetch. */
+    unsigned distance = 4;
+    /** Max in-flight prefetches (MSHR budget). */
+    unsigned budget = 8;
+    /** Demand accesses with a fixed stride needed to train. */
+    unsigned trainThreshold = 2;
+};
+
+/** One processor model. */
+struct CpuProfile
+{
+    std::string name;
+    double freqGhz = 2.1;
+    unsigned issueWidth = 4;
+    unsigned robSize = 512;
+    /** L1 fill buffers: max outstanding demand+L1PF misses. */
+    unsigned lfbEntries = 16;
+    unsigned storeBufferEntries = 112;
+
+    CacheGeometry l1;
+    CacheGeometry l2;
+    CacheGeometry l3;
+
+    PrefetcherConfig l1pf;  ///< IP-stride prefetcher at L1.
+    PrefetcherConfig l2pf;  ///< Streamer at L2.
+
+    /** SPR/EMR streamer installs into LLC; SKX into L2. */
+    bool l2pfFillsL3 = true;
+
+    double
+    cycleNs() const
+    {
+        return 1.0 / freqGhz;
+    }
+};
+
+/** Skylake-SP (SKX2S / SKX8S cores). */
+CpuProfile skx();
+/** Sapphire Rapids (SPR2S). */
+CpuProfile spr();
+/** Emerald Rapids (EMR2S). */
+CpuProfile emr();
+/** Emerald Rapids with the large 260MB LLC (EMR2S'). */
+CpuProfile emrPrime();
+
+}  // namespace cxlsim::cpu
+
+#endif  // CXLSIM_CPU_PROFILE_HH

@@ -1,0 +1,129 @@
+#include "device_profile.hh"
+
+#include "sim/logging.hh"
+
+namespace cxlsim::cxl {
+
+DeviceProfile
+cxlA()
+{
+    DeviceProfile p;
+    p.name = "CXL-A";
+    p.linkCfg.gbpsPerDir = 24.0;     // x8 effective
+    p.linkCfg.propagationNs = 15.0;
+    p.halfDuplexLink = false;
+    p.dramTiming = dram::ddr4_2933();
+    p.dramChannels = 2;
+    p.refreshHiding = 0.96;
+    p.controllerNs = 96.0;
+    p.schedulerPerReqNs = 2.0;       // 32 GB/s mixed peak
+    p.queueCapacity = 64;
+    p.hiccups.baseProb = 0.0004;
+    p.hiccups.loadProb = 0.05;
+    p.hiccups.loadExponent = 2.0;
+    p.hiccups.onsetUtil = 0.30;      // tails start at ~30% util (Fig 3c)
+    p.hiccups.minNs = 150.0;
+    p.hiccups.maxNs = 900.0;
+    p.hiccups.alpha = 1.6;
+    p.numaExtraNs = 81.0;            // +161ns total with the UPI hop
+    p.capacityBytes = 128ULL << 30;
+    return p;
+}
+
+DeviceProfile
+cxlB()
+{
+    DeviceProfile p;
+    p.name = "CXL-B";
+    p.linkCfg.gbpsPerDir = 22.0;
+    p.linkCfg.propagationNs = 18.0;
+    p.halfDuplexLink = false;
+    p.dramTiming = dram::ddr5_4800();
+    p.dramChannels = 1;
+    p.refreshHiding = 0.88;
+    p.controllerNs = 135.0;
+    p.schedulerPerReqNs = 2.46;      // 26 GB/s mixed peak
+    p.queueCapacity = 48;
+    p.hiccups.baseProb = 0.0045;     // visible tails even at idle
+    p.hiccups.loadProb = 0.08;
+    p.hiccups.loadExponent = 1.5;
+    p.hiccups.onsetUtil = 0.15;
+    p.hiccups.minNs = 120.0;
+    p.hiccups.maxNs = 2000.0;
+    p.hiccups.alpha = 1.1;
+    p.numaExtraNs = 122.0;           // +202ns total
+    p.capacityBytes = 128ULL << 30;
+    return p;
+}
+
+DeviceProfile
+cxlC()
+{
+    DeviceProfile p;
+    p.name = "CXL-C";
+    p.linkCfg.gbpsPerDir = 21.0;     // shared, half-duplex (FPGA IP)
+    p.linkCfg.propagationNs = 40.0;  // FPGA fabric latency
+    p.linkCfg.turnaroundNs = 8.0;    // per-flit effective (batching)
+    p.halfDuplexLink = true;
+    p.dramTiming = dram::ddr4_2933();
+    p.dramChannels = 2;
+    p.refreshHiding = 0.80;
+    p.controllerNs = 217.0;
+    p.schedulerPerReqNs = 3.05;      // 21 GB/s peak (read-only best)
+    p.queueCapacity = 32;
+    p.hiccups.baseProb = 0.008;      // worst tails: spikes to ~3us
+    p.hiccups.loadProb = 0.12;
+    p.hiccups.loadExponent = 1.3;
+    p.hiccups.onsetUtil = 0.10;
+    p.hiccups.minNs = 150.0;
+    p.hiccups.maxNs = 3000.0;
+    p.hiccups.alpha = 1.0;
+    p.thermal.bwThresholdGBps = 17.0;
+    p.thermal.throttleProb = 0.01;
+    p.thermal.pauseNs = 500.0;
+    p.numaExtraNs = 147.0;           // +227ns total
+    p.capacityBytes = 16ULL << 30;   // limits evaluation to 60 workloads
+    return p;
+}
+
+DeviceProfile
+cxlD()
+{
+    DeviceProfile p;
+    p.name = "CXL-D";
+    p.linkCfg.gbpsPerDir = 52.0;     // x16 PCIe 5
+    p.linkCfg.propagationNs = 15.0;
+    p.halfDuplexLink = false;
+    p.dramTiming = dram::ddr5_4800();
+    p.dramChannels = 2;
+    p.refreshHiding = 0.98;
+    p.controllerNs = 115.0;
+    p.schedulerPerReqNs = 1.08;      // 59 GB/s mixed peak
+    p.queueCapacity = 96;
+    p.hiccups.baseProb = 0.0002;     // best stability of the four
+    p.hiccups.loadProb = 0.04;
+    p.hiccups.loadExponent = 3.0;
+    p.hiccups.onsetUtil = 0.70;      // tails appear only near saturation
+    p.hiccups.minNs = 120.0;
+    p.hiccups.maxNs = 700.0;
+    p.hiccups.alpha = 1.8;
+    p.numaExtraNs = 14.0;            // +94ns total
+    p.capacityBytes = 756ULL << 30;
+    return p;
+}
+
+DeviceProfile
+profileByName(const std::string &name)
+{
+    if (name == "CXL-A")
+        return cxlA();
+    if (name == "CXL-B")
+        return cxlB();
+    if (name == "CXL-C")
+        return cxlC();
+    if (name == "CXL-D")
+        return cxlD();
+    SIM_FATAL("unknown CXL device profile: " + name);
+}
+
+}  // namespace cxlsim::cxl

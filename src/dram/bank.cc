@@ -1,0 +1,47 @@
+#include "bank.hh"
+
+#include <algorithm>
+
+namespace cxlsim::dram {
+
+Tick
+Bank::access(std::uint64_t row, Tick earliest, const DramTiming &t,
+             RowResult *result)
+{
+    const Tick start = std::max(earliest, freeAt_);
+    // Latency is what the requester waits for; occupancy is how
+    // long the bank blocks further commands. Column accesses to an
+    // open row pipeline at the burst rate, so a row hit occupies
+    // the bank far shorter than its tCL latency.
+    double lat_ns;
+    double occ_ns;
+    RowResult r;
+    if (open_ && row_ == row) {
+        r = RowResult::kHit;
+        lat_ns = t.tCL;
+        occ_ns = t.burst;
+    } else if (open_) {
+        r = RowResult::kMiss;
+        lat_ns = t.tRP + t.tRCD + t.tCL;
+        occ_ns = t.tRP + t.tRCD + t.burst;
+    } else {
+        r = RowResult::kCold;
+        lat_ns = t.tRCD + t.tCL;
+        occ_ns = t.tRCD + t.burst;
+    }
+    open_ = true;
+    row_ = row;
+    const Tick dataReady = start + nsToTicks(lat_ns);
+    freeAt_ = start + nsToTicks(occ_ns);
+    if (result)
+        *result = r;
+    return dataReady;
+}
+
+void
+Bank::block(Tick until)
+{
+    freeAt_ = std::max(freeAt_, until);
+}
+
+}  // namespace cxlsim::dram

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Open-page DRAM bank model.
+ *
+ * Each bank tracks its open row and the tick at which it next
+ * becomes available. An access classifies as a row hit (CAS only),
+ * row miss/conflict (precharge + activate + CAS) or cold activate
+ * (activate + CAS), producing the per-request latency variation
+ * that underlies local/NUMA's small tail (§3.2, "chip-level
+ * factors such as row buffer misses").
+ */
+
+#ifndef CXLSIM_DRAM_BANK_HH
+#define CXLSIM_DRAM_BANK_HH
+
+#include <cstdint>
+
+#include "dram/timing.hh"
+#include "sim/types.hh"
+
+namespace cxlsim::dram {
+
+/** Outcome classification of a bank access. */
+enum class RowResult : std::uint8_t { kHit, kMiss, kCold };
+
+/** One DRAM bank with an open-row register. */
+class Bank
+{
+  public:
+    /**
+     * Reserve the bank for an access to @p row starting no earlier
+     * than @p earliest and return when the requested line's data
+     * transfer may begin on the bus.
+     *
+     * @param row      Row index being accessed.
+     * @param earliest Earliest start tick (arrival / scheduler time).
+     * @param t        Channel timing parameters.
+     * @param result   Out: row hit/miss/cold classification.
+     * @return Tick at which column data is available for the bus.
+     */
+    Tick access(std::uint64_t row, Tick earliest, const DramTiming &t,
+                RowResult *result);
+
+    /** True if some row is open. */
+    bool open() const { return open_; }
+
+    /** Currently open row; only meaningful if open(). */
+    std::uint64_t openRow() const { return row_; }
+
+    /** Tick at which the bank is next free. */
+    Tick freeAt() const { return freeAt_; }
+
+    /** Force the bank busy through @p until (refresh). */
+    void block(Tick until);
+
+    /** Close the open row (e.g. after refresh). */
+    void
+    close()
+    {
+        open_ = false;
+    }
+
+  private:
+    bool open_ = false;
+    std::uint64_t row_ = 0;
+    Tick freeAt_ = 0;
+};
+
+}  // namespace cxlsim::dram
+
+#endif  // CXLSIM_DRAM_BANK_HH

@@ -1,0 +1,90 @@
+#include "channel.hh"
+
+#include <algorithm>
+
+namespace cxlsim::dram {
+
+Channel::Channel(const ChannelConfig &cfg)
+    : cfg_(cfg), banks_(cfg.timing.banks), rng_(cfg.seed),
+      nextRefresh_(cfg.timing.banks)
+{
+    // Stagger per-bank refresh windows across the refresh interval
+    // so they do not all fire at once.
+    const Tick refi = nsToTicks(cfg_.timing.tREFI);
+    for (unsigned b = 0; b < banks_.size(); ++b)
+        nextRefresh_[b] = refi * (b + 1) / banks_.size();
+}
+
+Tick
+Channel::applyRefresh(unsigned bank, Tick start)
+{
+    const Tick refi = nsToTicks(cfg_.timing.tREFI);
+    const Tick rfc = nsToTicks(cfg_.timing.tRFC);
+    // Catch the refresh schedule up to 'start'. Hidden refreshes
+    // were absorbed into idle gaps; visible ones block the bank.
+    while (nextRefresh_[bank] + rfc <= start)
+        nextRefresh_[bank] += refi;
+    if (nextRefresh_[bank] <= start) {
+        // A refresh window covers 'start'.
+        if (!rng_.chance(cfg_.refreshHiding)) {
+            banks_[bank].block(nextRefresh_[bank] + rfc);
+            banks_[bank].close();
+            ++stats_.refreshStalls;
+        }
+        nextRefresh_[bank] += refi;
+    }
+    return start;
+}
+
+Tick
+Channel::access(Addr addr, bool is_write, Tick now)
+{
+    // Row-contiguous mapping with a hashed bank index: consecutive
+    // lines share a row (streams get row hits), while rows scatter
+    // pseudo-randomly over banks so independent streams do not
+    // convoy on one bank even when their regions are bank-aligned
+    // (real controllers hash bank bits for the same reason).
+    const std::uint64_t rowGlobal = addr / cfg_.timing.rowBytes;
+    const unsigned bank = static_cast<unsigned>(
+        ((rowGlobal * 0x9e3779b97f4a7c15ULL) >> 32) % banks_.size());
+    const std::uint64_t row = rowGlobal;
+
+    applyRefresh(bank, now);
+
+    RowResult rr;
+    const Tick colReady =
+        banks_[bank].access(row, now, cfg_.timing, &rr);
+    switch (rr) {
+      case RowResult::kHit:
+        ++stats_.rowHits;
+        break;
+      case RowResult::kMiss:
+        ++stats_.rowMisses;
+        break;
+      case RowResult::kCold:
+        ++stats_.rowCold;
+        break;
+    }
+
+    // Serialize the 64B burst on the shared data bus.
+    Tick busStart = std::max(colReady, busFreeAt_);
+    if (is_write != lastWasWrite_) {
+        busStart += nsToTicks(cfg_.timing.turnaround);
+        ++stats_.turnarounds;
+        lastWasWrite_ = is_write;
+    }
+    const Tick done = busStart + nsToTicks(cfg_.timing.burst);
+    busFreeAt_ = done;
+
+    if (is_write) {
+        ++stats_.writes;
+        // Consecutive writes to an open row pipeline at the burst
+        // rate; write recovery (tWR) only gates a subsequent
+        // precharge, which the row-miss path already prices in.
+    } else {
+        ++stats_.reads;
+    }
+    return done;
+}
+
+}  // namespace cxlsim::dram

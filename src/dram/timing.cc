@@ -1,0 +1,41 @@
+#include "timing.hh"
+
+namespace cxlsim::dram {
+
+DramTiming
+ddr4_2933()
+{
+    DramTiming t;
+    t.name = "DDR4-2933";
+    t.tCL = 14.4;        // 21 cycles @ 1466 MHz
+    t.tRCD = 14.4;
+    t.tRP = 14.4;
+    t.tWR = 15.0;
+    t.tRFC = 350.0;      // 8Gb die
+    t.tREFI = 7800.0;
+    t.burst = 64.0 / 23.46;  // 2.73 ns per 64B line
+    t.turnaround = 2.5;  // effective: iMC write-batching amortizes switches
+    t.banks = 16;
+    t.rowBytes = 8192;
+    return t;
+}
+
+DramTiming
+ddr5_4800()
+{
+    DramTiming t;
+    t.name = "DDR5-4800";
+    t.tCL = 16.7;        // 40 cycles @ 2400 MHz
+    t.tRCD = 16.7;
+    t.tRP = 16.7;
+    t.tWR = 30.0;
+    t.tRFC = 295.0;      // 16Gb die
+    t.tREFI = 3900.0;
+    t.burst = 64.0 / 38.4;   // 1.67 ns per 64B line
+    t.turnaround = 2.0;  // effective: iMC write-batching amortizes switches
+    t.banks = 32;
+    t.rowBytes = 8192;
+    return t;
+}
+
+}  // namespace cxlsim::dram

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * DDR timing parameter sets.
+ *
+ * The values are nominal JEDEC-style numbers for the DIMM
+ * generations in the paper's testbed (Table 1): DDR4-2933 on the
+ * SKX machines and on CXL-A/CXL-C, DDR5-4800 on SPR/EMR and on
+ * CXL-B/CXL-D. Only the parameters that shape request latency,
+ * bandwidth and refresh-induced tails are modelled.
+ */
+
+#ifndef CXLSIM_DRAM_TIMING_HH
+#define CXLSIM_DRAM_TIMING_HH
+
+#include <string>
+
+#include "sim/types.hh"
+
+namespace cxlsim::dram {
+
+/** Timing and geometry for one DRAM channel. */
+struct DramTiming
+{
+    std::string name;
+
+    /** CAS latency (read command to first data), ns. */
+    double tCL;
+    /** Row-to-column delay, ns. */
+    double tRCD;
+    /** Row precharge, ns. */
+    double tRP;
+    /** Write recovery (adds to write turnaround), ns. */
+    double tWR;
+    /** Refresh cycle time (bank blocked), ns. */
+    double tRFC;
+    /** Average refresh interval, ns. */
+    double tREFI;
+    /** Data-bus occupancy to transfer one 64B line, ns. */
+    double burst;
+    /** Bus turnaround penalty when switching read<->write, ns. */
+    double turnaround;
+
+    /** Banks per channel (bank groups x banks collapsed). */
+    unsigned banks;
+    /** Row (page) size in bytes. */
+    unsigned rowBytes;
+
+    /** Peak channel data rate in GB/s implied by the burst time. */
+    double
+    peakGBps() const
+    {
+        return 64.0 / burst;  // bytes per ns == GB/s
+    }
+};
+
+/** DDR4-2933, 64-bit channel: 23.5 GB/s peak. */
+DramTiming ddr4_2933();
+
+/** DDR5-4800, 64-bit channel: 38.4 GB/s peak. */
+DramTiming ddr5_4800();
+
+}  // namespace cxlsim::dram
+
+#endif  // CXLSIM_DRAM_TIMING_HH

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Rate-coupled jitter process.
+ *
+ * Models contention-induced latency spikes whose frequency grows
+ * with the recent request rate. Used for the CXL+NUMA combination,
+ * where the paper observes tail latencies (starting ~p98, up to
+ * 800ns) that shrink when workload intensity is reduced (Fig 8d) —
+ * direct evidence that the tails, not bandwidth, cause the
+ * CXL+NUMA slowdown anomaly.
+ */
+
+#ifndef CXLSIM_MEM_JITTER_HH
+#define CXLSIM_MEM_JITTER_HH
+
+#include <algorithm>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace cxlsim::mem {
+
+/** Configuration of a rate-coupled jitter source. */
+struct JitterParams
+{
+    /** Probability of a spike per request at the reference rate. */
+    double probAtRef = 0.0;
+    /** Reference request rate (requests/us) for full probability. */
+    double refReqPerUs = 50.0;
+    /** Spike magnitude bounds (ns) and Pareto shape. */
+    double minNs = 100.0;
+    double maxNs = 800.0;
+    double alpha = 1.2;
+
+    /**
+     * Congestion episodes: with per-request probability
+     * episodeProb (rate-scaled), the path enters a congested
+     * regime for episodeDurUs in which every request pays an
+     * additional heavy delay in [episodeMinNs, episodeMaxNs].
+     * This models the flow-control interference storms between
+     * the UPI and CXL protocol layers that make CXL+NUMA far
+     * worse than its average latency suggests (§4, Fig 8c/d).
+     */
+    double episodeProb = 0.0;
+    /** Episodes only arm above this request rate (req/us): a lone
+     *  latency probe stays clean while real workload traffic
+     *  triggers the interference (matching Table 1's stable
+     *  remote-latency numbers vs Fig 8d's workload tails). */
+    double episodeMinRatePerUs = 4.0;
+    double episodeDurUs = 30.0;
+    /** Minimum quiet time between episodes: bounds the duty cycle
+     *  so congestion storms stay episodic rather than permanent. */
+    double episodeRefractoryUs = 60.0;
+    double episodeMinNs = 1500.0;
+    double episodeMaxNs = 8000.0;
+    double episodeAlpha = 1.3;
+};
+
+/** Stateful jitter source; ask it for extra delay per request. */
+class JitterProcess
+{
+  public:
+    JitterProcess(const JitterParams &params, std::uint64_t seed)
+        : params_(params), rng_(seed)
+    {
+    }
+
+    /**
+     * Extra delay in ticks for a request arriving at @p now.
+     * Updates the internal rate estimate.
+     */
+    Tick
+    sample(Tick now)
+    {
+        // EWMA of request rate in requests per microsecond.
+        const double dtUs = std::max(
+            1e-4, ticksToNs(now > last_ ? now - last_ : 0) / 1000.0 +
+                      1e-5);
+        last_ = now;
+        const double inst = 1.0 / dtUs;
+        constexpr double a = 0.05;
+        rate_ = a * inst + (1.0 - a) * rate_;
+
+        const double scale =
+            std::min(1.5, rate_ / params_.refReqPerUs);
+
+        Tick delay = 0;
+        // Congestion episodes: every request during an episode
+        // pays a heavy extra delay.
+        if (params_.episodeProb > 0.0 &&
+            rate_ >= params_.episodeMinRatePerUs) {
+            if (now < episodeEnd_) {
+                delay += nsToTicks(rng_.boundedPareto(
+                    params_.episodeMinNs, params_.episodeMaxNs,
+                    params_.episodeAlpha));
+                ++episodeHits_;
+            } else if (now >= nextEpisodeAllowed_ &&
+                       rng_.chance(params_.episodeProb * scale)) {
+                episodeEnd_ =
+                    now + usToTicks(params_.episodeDurUs);
+                nextEpisodeAllowed_ =
+                    episodeEnd_ +
+                    usToTicks(params_.episodeRefractoryUs);
+                ++episodes_;
+            }
+        }
+        if (params_.probAtRef > 0.0 &&
+            rng_.chance(params_.probAtRef * scale)) {
+            delay += nsToTicks(rng_.boundedPareto(
+                params_.minNs, params_.maxNs, params_.alpha));
+        }
+        return delay;
+    }
+
+    double ratePerUs() const { return rate_; }
+    std::uint64_t episodes() const { return episodes_; }
+    std::uint64_t episodeHits() const { return episodeHits_; }
+
+  private:
+    JitterParams params_;
+    Rng rng_;
+    Tick last_ = 0;
+    double rate_ = 0.0;
+    Tick episodeEnd_ = 0;
+    Tick nextEpisodeAllowed_ = 0;
+    std::uint64_t episodes_ = 0;
+    std::uint64_t episodeHits_ = 0;
+};
+
+}  // namespace cxlsim::mem
+
+#endif  // CXLSIM_MEM_JITTER_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Memory request taxonomy (paper Figure 2c).
+ *
+ * The CPU issues demand loads, prefetch reads (from the L1 and L2
+ * hardware prefetchers), RFOs (read-for-ownership triggered by
+ * stores), and writebacks on cache eviction. The distinction
+ * matters for Spa: demand-load stalls attribute to sDRAM while
+ * prefetch-induced waits attribute to cache levels.
+ */
+
+#ifndef CXLSIM_MEM_REQUEST_HH
+#define CXLSIM_MEM_REQUEST_HH
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/types.hh"
+
+namespace cxlsim::mem {
+
+/** Request classes reaching the memory controller. */
+enum class ReqType : std::uint8_t {
+    kDemandLoad,
+    kL1Prefetch,
+    kL2Prefetch,
+    kRfo,
+    kWriteback,
+};
+
+/** True if the request moves data from memory to the CPU. */
+constexpr bool
+isRead(ReqType t)
+{
+    return t != ReqType::kWriteback;
+}
+
+constexpr std::string_view
+reqTypeName(ReqType t)
+{
+    switch (t) {
+      case ReqType::kDemandLoad:
+        return "demand";
+      case ReqType::kL1Prefetch:
+        return "l1pf";
+      case ReqType::kL2Prefetch:
+        return "l2pf";
+      case ReqType::kRfo:
+        return "rfo";
+      case ReqType::kWriteback:
+        return "writeback";
+    }
+    return "?";
+}
+
+}  // namespace cxlsim::mem
+
+#endif  // CXLSIM_MEM_REQUEST_HH

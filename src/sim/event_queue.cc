@@ -1,0 +1,46 @@
+#include "event_queue.hh"
+
+#include "logging.hh"
+
+namespace cxlsim {
+
+void
+EventQueue::schedule(Tick when, Handler fn)
+{
+    SIM_ASSERT(when >= now_, "scheduling into the past");
+    heap_.push(Entry{when, nextSeq_++, std::move(fn)});
+}
+
+bool
+EventQueue::step()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() is const; the handler is mutable so we can
+    // move it out before popping.
+    const Entry &top = heap_.top();
+    now_ = top.when;
+    Handler fn = std::move(top.fn);
+    heap_.pop();
+    ++executed_;
+    fn();
+    return true;
+}
+
+void
+EventQueue::run()
+{
+    while (step()) {
+    }
+}
+
+void
+EventQueue::runUntil(Tick limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit)
+        step();
+    if (now_ < limit)
+        now_ = limit;
+}
+
+}  // namespace cxlsim

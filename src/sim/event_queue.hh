@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue instance drives one simulated system. Events
+ * are arbitrary callables scheduled at absolute ticks; ties are
+ * broken deterministically by insertion order so runs are exactly
+ * reproducible.
+ */
+
+#ifndef CXLSIM_SIM_EVENT_QUEUE_HH
+#define CXLSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "types.hh"
+
+namespace cxlsim {
+
+/**
+ * A min-heap event queue over (tick, sequence) with callable payloads.
+ *
+ * Components schedule lambdas; the owner advances time with run(),
+ * runUntil(), or step(). There is no global queue: each simulated
+ * platform owns its own EventQueue so independent experiments never
+ * interfere.
+ */
+class EventQueue
+{
+  public:
+    using Handler = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p fn at absolute tick @p when (>= now). */
+    void schedule(Tick when, Handler fn);
+
+    /** Schedule @p fn @p delta ticks from now. */
+    void scheduleAfter(Tick delta, Handler fn)
+    {
+        schedule(now_ + delta, std::move(fn));
+    }
+
+    /** True if no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    /** Tick of the next pending event; only valid if !empty(). */
+    Tick nextTick() const { return heap_.top().when; }
+
+    /**
+     * Execute the single next event, advancing now() to its tick.
+     * @return false if the queue was empty.
+     */
+    bool step();
+
+    /** Run until the queue drains. */
+    void run();
+
+    /**
+     * Run all events with tick <= @p limit, then set now() to
+     * @p limit if it is beyond the last executed event.
+     */
+    void runUntil(Tick limit);
+
+    /** Total number of events executed over the queue's lifetime. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        // Handler lives outside the comparison key.
+        mutable Handler fn;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+}  // namespace cxlsim
+
+#endif  // CXLSIM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Minimal logging / fatal-error helpers in the spirit of gem5's
+ * base/logging.hh: panic() for internal invariant violations, fatal()
+ * for user-configuration errors, warn() for recoverable oddities.
+ */
+
+#ifndef CXLSIM_SIM_LOGGING_HH
+#define CXLSIM_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace cxlsim {
+
+/** Abort: an internal simulator invariant was violated (a bug). */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Exit with error: the user supplied an invalid configuration. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning to stderr and continue. */
+void warnImpl(const char *file, int line, const std::string &msg);
+
+}  // namespace cxlsim
+
+#define SIM_PANIC(msg) ::cxlsim::panicImpl(__FILE__, __LINE__, (msg))
+#define SIM_FATAL(msg) ::cxlsim::fatalImpl(__FILE__, __LINE__, (msg))
+#define SIM_WARN(msg) ::cxlsim::warnImpl(__FILE__, __LINE__, (msg))
+
+/** Assert a simulator invariant; always on (not tied to NDEBUG). */
+#define SIM_ASSERT(cond, msg)                                              \
+    do {                                                                   \
+        if (!(cond))                                                       \
+            SIM_PANIC(std::string("assertion failed: ") + #cond + ": " +  \
+                      (msg));                                              \
+    } while (0)
+
+#endif  // CXLSIM_SIM_LOGGING_HH

@@ -1,0 +1,141 @@
+#include "rng.hh"
+
+#include <cmath>
+
+namespace cxlsim {
+
+namespace {
+
+/** SplitMix64 step, used for seeding. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t n)
+{
+    if (n <= 1)
+        return 0;
+    // Multiply-shift bounded generation (Lemire); slight bias is
+    // irrelevant for simulation purposes.
+    return static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(next()) * n) >> 64);
+}
+
+std::int64_t
+Rng::range(std::int64_t lo, std::int64_t hi)
+{
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+double
+Rng::exponential(double mean)
+{
+    double u = uniform();
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    return -mean * std::log(1.0 - u);
+}
+
+double
+Rng::boundedPareto(double lo, double hi, double alpha)
+{
+    const double u = uniform();
+    const double la = std::pow(lo, alpha);
+    const double ha = std::pow(hi, alpha);
+    const double x = -(u * ha - u * la - ha) / (ha * la);
+    return std::pow(x, -1.0 / alpha);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    // Irwin-Hall approximation: 12 uniforms have variance 1.
+    double acc = 0.0;
+    for (int i = 0; i < 12; ++i)
+        acc += uniform();
+    return mean + (acc - 6.0) * stddev;
+}
+
+std::uint64_t
+Rng::zipf(std::uint64_t n, double s)
+{
+    if (n <= 1)
+        return 0;
+    if (s <= 0.0)
+        return below(n);
+    // Inverse-CDF approximation for Zipf via the continuous bounded
+    // Pareto; adequate for workload skew modelling.
+    const double u = uniform();
+    const double nmax = static_cast<double>(n);
+    double r;
+    if (s == 1.0) {
+        r = std::pow(nmax, u);
+    } else {
+        const double e = 1.0 - s;
+        r = std::pow(u * (std::pow(nmax, e) - 1.0) + 1.0, 1.0 / e);
+    }
+    auto idx = static_cast<std::uint64_t>(r - 1.0);
+    return idx >= n ? n - 1 : idx;
+}
+
+Rng
+Rng::fork(std::uint64_t salt)
+{
+    return Rng(next() ^ (salt * 0x2545f4914f6cdd1dULL));
+}
+
+}  // namespace cxlsim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * All stochastic behaviour in the simulator (bank conflicts, hiccup
+ * processes, workload address streams) draws from explicitly seeded
+ * Rng instances so that every experiment is bit-reproducible. The
+ * engine is xoshiro256** seeded via SplitMix64.
+ */
+
+#ifndef CXLSIM_SIM_RNG_HH
+#define CXLSIM_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace cxlsim {
+
+/**
+ * A small, fast, deterministic random number generator
+ * (xoshiro256**), with the distribution helpers the simulator needs.
+ */
+class Rng
+{
+  public:
+    /** Construct with a 64-bit seed; distinct seeds give independent
+     * streams for practical purposes. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform integer in [0, n) for n >= 1. */
+    std::uint64_t below(std::uint64_t n);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p);
+
+    /** Exponentially distributed value with the given mean. */
+    double exponential(double mean);
+
+    /**
+     * Bounded Pareto sample: heavy-tailed values in [lo, hi] with
+     * shape alpha. Used to model CXL controller hiccup durations,
+     * which produce the paper's microsecond-level tail latencies.
+     */
+    double boundedPareto(double lo, double hi, double alpha);
+
+    /** Approximately normal value (sum of uniforms) with mean/stddev. */
+    double normal(double mean, double stddev);
+
+    /** Zipf-distributed rank in [0, n) with skew s (s = 0 -> uniform). */
+    std::uint64_t zipf(std::uint64_t n, double s);
+
+    /** Fork an independent stream derived from this one and a salt. */
+    Rng fork(std::uint64_t salt);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+}  // namespace cxlsim
+
+#endif  // CXLSIM_SIM_RNG_HH

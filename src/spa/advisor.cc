@@ -1,0 +1,66 @@
+#include "advisor.hh"
+
+#include <algorithm>
+
+#include "core/slowdown.hh"
+#include "cpu/multicore.hh"
+#include "mem/region_router.hh"
+#include "workloads/synthetic_kernel.hh"
+
+namespace cxlsim::spa {
+
+double
+suggestPinnedFraction(const std::vector<PeriodBreakdown> &periods,
+                      double burst_threshold_pct)
+{
+    if (periods.empty())
+        return 0.0;
+    double burstSlow = 0.0;
+    double totalSlow = 0.0;
+    for (const auto &p : periods) {
+        const double s = std::max(0.0, p.breakdown.actual);
+        totalSlow += s;
+        if (s > burst_threshold_pct)
+            burstSlow += s;
+    }
+    if (totalSlow <= 0.0 || burstSlow <= 0.0)
+        return 0.0;
+    // Pin proportionally to the share of slowdown in bursts,
+    // capped: pinning beyond the hot set wastes local DRAM.
+    return std::clamp(0.5 * burstSlow / totalSlow, 0.05, 0.5);
+}
+
+TuningResult
+tunePlacement(const workloads::WorkloadProfile &w,
+              const std::string &server, const std::string &memory,
+              double pinned_fraction, std::uint64_t seed)
+{
+    TuningResult r;
+    r.pinnedFraction = pinned_fraction;
+
+    melody::Platform localPlat(server, "Local");
+    melody::Platform cxlPlat(server, memory);
+
+    const cpu::RunResult baseline =
+        melody::runWorkload(w, localPlat, seed);
+    const cpu::RunResult allCxl = melody::runWorkload(w, cxlPlat, seed);
+    r.slowdownAllCxl = melody::slowdownPct(baseline, allCxl);
+
+    // Pinned run: hot head of the working set on local DRAM.
+    auto router = std::make_unique<mem::RegionRouter>(
+        memory + "+pin", localPlat.makeBackend(seed ^ 0xabcd),
+        cxlPlat.makeBackend(seed ^ 0xdcba));
+    const Addr hotBytes = static_cast<Addr>(
+        pinned_fraction *
+        static_cast<double>(w.workingSetBytes));
+    router->pinRegion(0, hotBytes);
+
+    cpu::MultiCore mc(cxlPlat.cpu(), w.exec, router.get(),
+                      workloads::makeKernels(w));
+    const cpu::RunResult pinned = mc.run();
+    r.slowdownPinned = melody::slowdownPct(baseline, pinned);
+    r.fastRequestFraction = router->fastFraction();
+    return r;
+}
+
+}  // namespace cxlsim::spa

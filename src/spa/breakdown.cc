@@ -1,0 +1,43 @@
+#include "breakdown.hh"
+
+namespace cxlsim::spa {
+
+Breakdown
+computeBreakdown(const cpu::CounterSet &base_c, Tick base_wall,
+                 const cpu::CounterSet &test_c, Tick test_wall)
+{
+    Breakdown b;
+    const double c = base_c.cycles;
+    if (c <= 0.0)
+        return b;
+    const cpu::CounterSet d = test_c - base_c;
+
+    b.actual = base_wall
+                   ? (static_cast<double>(test_wall) /
+                          static_cast<double>(base_wall) -
+                      1.0) * 100.0
+                   : 0.0;
+
+    b.store = d.sStore() / c * 100.0;
+    b.l1 = d.sL1() / c * 100.0;
+    b.l2 = d.sL2() / c * 100.0;
+    b.l3 = d.sL3() / c * 100.0;
+    b.dram = d.sDram() / c * 100.0;
+    b.core = d.sCore() / c * 100.0;
+    b.other = b.actual - (b.componentsSum() + b.core);
+
+    b.estTotalStalls = d.p6 / c * 100.0;
+    b.estBackend = d.sBackend() / c * 100.0;
+    b.estMemory = d.sMemory() / c * 100.0;
+    return b;
+}
+
+Breakdown
+computeBreakdown(const cpu::RunResult &baseline,
+                 const cpu::RunResult &test)
+{
+    return computeBreakdown(baseline.counters, baseline.wallTicks,
+                            test.counters, test.wallTicks);
+}
+
+}  // namespace cxlsim::spa

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Spa: stall-based CXL performance analysis (paper §5).
+ *
+ * Spa's key insight: the *differential* CPU stalls between a CXL
+ * run and a local-DRAM run of the same workload accurately
+ * decompose the slowdown into sources (Equations 1-8):
+ *
+ *   S        = Δc / c  ≈  Δs/c  ≈  Δs_Backend/c  ≈  Δs_Memory/c
+ *   Δs_Memory = ΔP1 + ΔP2
+ *   S ≈ S_store + S_L1 + S_L2 + S_L3 + S_DRAM   (Equation 8)
+ *
+ * with sStore=P2, sL1=P1-P3, sL2=P3-P4, sL3=P4-P5, sDRAM=P5.
+ * "Other" is whatever the 9 counters fail to capture; Figure 11
+ * shows it is small (<5% for >95% of workloads).
+ */
+
+#ifndef CXLSIM_SPA_BREAKDOWN_HH
+#define CXLSIM_SPA_BREAKDOWN_HH
+
+#include "cpu/multicore.hh"
+
+namespace cxlsim::spa {
+
+/** Slowdown decomposition of one (baseline, test) run pair.
+ *  All values are percentages of baseline cycles. */
+struct Breakdown
+{
+    /** Measured application-level slowdown (wall time). */
+    double actual = 0.0;
+
+    /** Component slowdowns (Equation 8). */
+    double store = 0.0;
+    double l1 = 0.0;
+    double l2 = 0.0;
+    double l3 = 0.0;
+    double dram = 0.0;
+    double core = 0.0;
+    /** actual - (store+l1+l2+l3+dram+core). */
+    double other = 0.0;
+
+    /** Estimators of Figure 11: Δs/c, Δs_Backend/c, Δs_Memory/c. */
+    double estTotalStalls = 0.0;
+    double estBackend = 0.0;
+    double estMemory = 0.0;
+
+    double
+    componentsSum() const
+    {
+        return store + l1 + l2 + l3 + dram;
+    }
+};
+
+/** Compute the Spa breakdown from two runs of the same workload. */
+Breakdown computeBreakdown(const cpu::RunResult &baseline,
+                           const cpu::RunResult &test);
+
+/** As above but from raw counter sets + wall times. */
+Breakdown computeBreakdown(const cpu::CounterSet &base_c, Tick base_wall,
+                           const cpu::CounterSet &test_c, Tick test_wall);
+
+}  // namespace cxlsim::spa
+
+#endif  // CXLSIM_SPA_BREAKDOWN_HH

@@ -1,0 +1,113 @@
+#include "period.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cxlsim::spa {
+
+namespace {
+
+/** Linear interpolation of every counter between two snapshots. */
+cpu::CounterSet
+lerp(const cpu::CounterSet &a, const cpu::CounterSet &b, double f)
+{
+    auto mixd = [&](double x, double y) { return x + (y - x) * f; };
+    auto mixu = [&](std::uint64_t x, std::uint64_t y) {
+        return static_cast<std::uint64_t>(
+            static_cast<double>(x) +
+            (static_cast<double>(y) - static_cast<double>(x)) * f);
+    };
+    cpu::CounterSet r;
+    r.cycles = mixd(a.cycles, b.cycles);
+    r.instructions = mixd(a.instructions, b.instructions);
+    r.p1 = mixd(a.p1, b.p1);
+    r.p2 = mixd(a.p2, b.p2);
+    r.p3 = mixd(a.p3, b.p3);
+    r.p4 = mixd(a.p4, b.p4);
+    r.p5 = mixd(a.p5, b.p5);
+    r.p6 = mixd(a.p6, b.p6);
+    r.p7 = mixd(a.p7, b.p7);
+    r.p8 = mixd(a.p8, b.p8);
+    r.p9 = mixd(a.p9, b.p9);
+    r.l1pfL3Miss = mixu(a.l1pfL3Miss, b.l1pfL3Miss);
+    r.l1pfL3Hit = mixu(a.l1pfL3Hit, b.l1pfL3Hit);
+    r.l2pfL3Miss = mixu(a.l2pfL3Miss, b.l2pfL3Miss);
+    r.l2pfL3Hit = mixu(a.l2pfL3Hit, b.l2pfL3Hit);
+    r.demandL3Miss = mixu(a.demandL3Miss, b.demandL3Miss);
+    r.l2pfIssued = mixu(a.l2pfIssued, b.l2pfIssued);
+    r.l1pfIssued = mixu(a.l1pfIssued, b.l1pfIssued);
+    return r;
+}
+
+}  // namespace
+
+cpu::CounterSet
+counterAtInstructions(const std::vector<cpu::CounterSample> &samples,
+                      double instr)
+{
+    if (samples.empty())
+        return {};
+    if (instr <= samples.front().counters.instructions)
+        return lerp({}, samples.front().counters,
+                    instr / std::max(
+                                1.0,
+                                samples.front().counters.instructions));
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+        const double lo = samples[i - 1].counters.instructions;
+        const double hi = samples[i].counters.instructions;
+        if (instr <= hi) {
+            const double f =
+                hi > lo ? (instr - lo) / (hi - lo) : 0.0;
+            return lerp(samples[i - 1].counters,
+                        samples[i].counters, f);
+        }
+    }
+    return samples.back().counters;
+}
+
+std::vector<PeriodBreakdown>
+periodAnalysis(const std::vector<cpu::CounterSample> &base_samples,
+               const std::vector<cpu::CounterSample> &test_samples,
+               double instr_per_period)
+{
+    std::vector<PeriodBreakdown> out;
+    if (base_samples.empty() || test_samples.empty() ||
+        instr_per_period <= 0.0)
+        return out;
+
+    const double totalInstr =
+        std::min(base_samples.back().counters.instructions,
+                 test_samples.back().counters.instructions);
+    const auto periods = static_cast<std::uint64_t>(
+        totalInstr / instr_per_period);
+
+    cpu::CounterSet prevBase{};
+    cpu::CounterSet prevTest{};
+    for (std::uint64_t k = 1; k <= periods; ++k) {
+        const double boundary =
+            static_cast<double>(k) * instr_per_period;
+        const cpu::CounterSet curBase =
+            counterAtInstructions(base_samples, boundary);
+        const cpu::CounterSet curTest =
+            counterAtInstructions(test_samples, boundary);
+
+        // Per-period counters = difference of boundary snapshots.
+        const cpu::CounterSet baseP = curBase - prevBase;
+        const cpu::CounterSet testP = curTest - prevTest;
+        prevBase = curBase;
+        prevTest = curTest;
+
+        PeriodBreakdown pb;
+        pb.periodIndex = k - 1;
+        pb.instructions = boundary;
+        // Wall time within the period, in ticks-equivalent cycles:
+        // use the cycle counters directly (per-period).
+        pb.breakdown = computeBreakdown(
+            baseP, static_cast<Tick>(std::max(1.0, baseP.cycles)),
+            testP, static_cast<Tick>(std::max(1.0, testP.cycles)));
+        out.push_back(pb);
+    }
+    return out;
+}
+
+}  // namespace cxlsim::spa

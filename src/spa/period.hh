@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Period-based slowdown analysis (paper §5.6).
+ *
+ * Challenge: the same instructions take different wall time on
+ * local DRAM and CXL, so time-based samples (every 1ms) from the
+ * two runs cannot be compared directly. Solution (the paper's):
+ * since retired instructions are invariant across backends,
+ * re-align both sampled counter series onto instruction-count
+ * boundaries (e.g. every 1B instructions) by proportional
+ * interpolation within each sampling interval, then difference
+ * the aligned series per period.
+ */
+
+#ifndef CXLSIM_SPA_PERIOD_HH
+#define CXLSIM_SPA_PERIOD_HH
+
+#include <vector>
+
+#include "cpu/core.hh"
+#include "spa/breakdown.hh"
+
+namespace cxlsim::spa {
+
+/** One instruction-period's slowdown decomposition. */
+struct PeriodBreakdown
+{
+    std::uint64_t periodIndex = 0;
+    /** Instructions at the period's end boundary. */
+    double instructions = 0.0;
+    Breakdown breakdown;
+};
+
+/**
+ * Interpolate the counter state at an exact instruction count from
+ * a time-sampled series (assumes smooth progression within each
+ * sampling interval, as the paper does).
+ */
+cpu::CounterSet counterAtInstructions(
+    const std::vector<cpu::CounterSample> &samples, double instr);
+
+/**
+ * Align two sampled runs on instruction boundaries and break down
+ * the slowdown per period.
+ *
+ * @param base_samples  Samples from the local-DRAM run.
+ * @param test_samples  Samples from the CXL run.
+ * @param instr_per_period Period length in instructions.
+ */
+std::vector<PeriodBreakdown> periodAnalysis(
+    const std::vector<cpu::CounterSample> &base_samples,
+    const std::vector<cpu::CounterSample> &test_samples,
+    double instr_per_period);
+
+}  // namespace cxlsim::spa
+
+#endif  // CXLSIM_SPA_PERIOD_HH

@@ -1,0 +1,49 @@
+#include "predictor.hh"
+
+#include <algorithm>
+
+namespace cxlsim::spa {
+
+SlowdownModel
+fitModel(const cpu::RunResult &local, const cpu::RunResult &reference,
+         const DeviceSheet &reference_sheet, double local_latency_ns)
+{
+    SlowdownModel m;
+    m.localLatencyNs = local_latency_ns;
+    m.refDeltaNs =
+        std::max(1.0, reference_sheet.latencyNs - local_latency_ns);
+    m.demandGBps = local.backendGBps();
+
+    const Breakdown b = computeBreakdown(local, reference);
+
+    // Separate the bandwidth-driven part of the reference slowdown
+    // (present only if local demand exceeded the reference peak)
+    // from the latency-driven part, then normalize per ns.
+    double bwPart = 0.0;
+    if (m.demandGBps > reference_sheet.peakGBps)
+        bwPart = (m.demandGBps / reference_sheet.peakGBps - 1.0) *
+                 100.0;
+    const double latPart =
+        std::max(0.0, b.dram + b.store - bwPart * 0.7);
+    const double cachePart = std::max(0.0, b.l1 + b.l2 + b.l3);
+
+    m.latSensitivity = latPart / m.refDeltaNs;
+    m.cacheSensitivity = cachePart / m.refDeltaNs;
+    m.storeSensitivity = std::max(0.0, b.store) / m.refDeltaNs;
+    return m;
+}
+
+double
+SlowdownModel::predict(const DeviceSheet &target) const
+{
+    const double delta =
+        std::max(0.0, target.latencyNs - localLatencyNs);
+    double s = (latSensitivity + cacheSensitivity) * delta;
+    // Bandwidth term: execution time scales with the demand-to-
+    // capacity ratio once the device saturates.
+    if (demandGBps > target.peakGBps && target.peakGBps > 0.0)
+        s += (demandGBps / target.peakGBps - 1.0) * 100.0;
+    return s;
+}
+
+}  // namespace cxlsim::spa

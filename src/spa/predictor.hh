@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Spa-based cross-device slowdown prediction (§5.7, "Performance
+ * prediction and metric", and the companion technical report).
+ *
+ * Idea: a workload's slowdown decomposes into stall sources whose
+ * sensitivities to memory latency and bandwidth differ:
+ *
+ *   - sDRAM scales with the demand-visible latency delta,
+ *   - cache components scale with the prefetch-exposed share of
+ *     the latency delta,
+ *   - the bandwidth-bound part scales with achieved-bandwidth
+ *     ratios once demand exceeds a device's peak.
+ *
+ * Having profiled a workload on local DRAM and ONE reference CXL
+ * device, the predictor estimates its slowdown on a different
+ * device from that device's (latency, bandwidth) datasheet alone —
+ * no run needed. This is what makes Spa useful for capacity
+ * planning across heterogeneous CXL fleets.
+ */
+
+#ifndef CXLSIM_SPA_PREDICTOR_HH
+#define CXLSIM_SPA_PREDICTOR_HH
+
+#include <string>
+
+#include "cpu/multicore.hh"
+#include "spa/breakdown.hh"
+
+namespace cxlsim::spa {
+
+/** Datasheet view of a memory device. */
+struct DeviceSheet
+{
+    std::string name;
+    /** Idle read latency, ns. */
+    double latencyNs;
+    /** Peak sustainable bandwidth, GB/s. */
+    double peakGBps;
+};
+
+/** The per-workload model fitted from local + one reference run. */
+struct SlowdownModel
+{
+    /** Latency sensitivity: slowdown %-points per ns of extra
+     *  demand-visible latency. */
+    double latSensitivity = 0.0;
+    /** Prefetch-exposed sensitivity (cache components). */
+    double cacheSensitivity = 0.0;
+    /** Local achieved bandwidth (demand), GB/s. */
+    double demandGBps = 0.0;
+    /** Store-side sensitivity. */
+    double storeSensitivity = 0.0;
+    /** Reference latency delta the model was fitted at, ns. */
+    double refDeltaNs = 0.0;
+    double localLatencyNs = 0.0;
+
+    /** Predict the slowdown (%) on @p target. */
+    double predict(const DeviceSheet &target) const;
+};
+
+/**
+ * Fit a model from the local run, the reference-device run, and
+ * the reference device's datasheet.
+ */
+SlowdownModel fitModel(const cpu::RunResult &local,
+                       const cpu::RunResult &reference,
+                       const DeviceSheet &reference_sheet,
+                       double local_latency_ns);
+
+}  // namespace cxlsim::spa
+
+#endif  // CXLSIM_SPA_PREDICTOR_HH

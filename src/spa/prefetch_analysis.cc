@@ -1,0 +1,39 @@
+#include "prefetch_analysis.hh"
+
+namespace cxlsim::spa {
+
+namespace {
+
+double
+coverage(const cpu::CounterSet &c)
+{
+    const double fetches =
+        static_cast<double>(c.l2pfL3Miss) +
+        static_cast<double>(c.l1pfL3Miss) +
+        static_cast<double>(c.demandL3Miss);
+    return fetches > 0.0
+               ? static_cast<double>(c.l2pfL3Miss) / fetches
+               : 0.0;
+}
+
+}  // namespace
+
+PrefetchDelta
+prefetchDelta(const cpu::RunResult &baseline,
+              const cpu::RunResult &test)
+{
+    PrefetchDelta d;
+    const auto &b = baseline.counters;
+    const auto &t = test.counters;
+    d.l1pfL3MissIncrease = static_cast<double>(t.l1pfL3Miss) -
+                           static_cast<double>(b.l1pfL3Miss);
+    d.l2pfL3MissDecrease = static_cast<double>(b.l2pfL3Miss) -
+                           static_cast<double>(t.l2pfL3Miss);
+    d.l2pfL3HitChange = static_cast<double>(t.l2pfL3Hit) -
+                        static_cast<double>(b.l2pfL3Hit);
+    d.coverageBase = coverage(b);
+    d.coverageTest = coverage(t);
+    return d;
+}
+
+}  // namespace cxlsim::spa

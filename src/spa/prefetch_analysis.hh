@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Prefetcher-efficiency analysis under CXL (paper §5.4, Fig 12-13).
+ *
+ * Under CXL's longer latency the L2 streamer's in-flight budget
+ * pins its frontier closer to the demand stream, so fewer stream
+ * lines are fetched by L2 prefetches (L2PF-L3-miss decreases) and
+ * the L1 prefetcher / demand stream picks them up instead
+ * (L1PF-L3-miss increases by nearly the same amount — the y = x
+ * relationship of Figure 12a, Pearson 0.99). The lost coverage
+ * appears as cache slowdown (delayed hits on pending lines).
+ */
+
+#ifndef CXLSIM_SPA_PREFETCH_ANALYSIS_HH
+#define CXLSIM_SPA_PREFETCH_ANALYSIS_HH
+
+#include "cpu/multicore.hh"
+
+namespace cxlsim::spa {
+
+/** Prefetch-behaviour deltas between a local and a CXL run. */
+struct PrefetchDelta
+{
+    /** Increase in L1 prefetches that fetch from memory. */
+    double l1pfL3MissIncrease = 0.0;
+    /** Decrease in L2 prefetches that fetch from memory. */
+    double l2pfL3MissDecrease = 0.0;
+    /** Change in L2PF LLC hits (the paper observes ~none). */
+    double l2pfL3HitChange = 0.0;
+
+    /** L2 streamer coverage = share of memory fetches it issued. */
+    double coverageBase = 0.0;
+    double coverageTest = 0.0;
+
+    /** Coverage drop in percentage points. */
+    double
+    coverageDropPct() const
+    {
+        return (coverageBase - coverageTest) * 100.0;
+    }
+};
+
+/** Compute prefetch deltas from two runs of the same workload. */
+PrefetchDelta prefetchDelta(const cpu::RunResult &baseline,
+                            const cpu::RunResult &test);
+
+}  // namespace cxlsim::spa
+
+#endif  // CXLSIM_SPA_PREFETCH_ANALYSIS_HH

@@ -1,0 +1,149 @@
+#include "histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace cxlsim::stats {
+
+Histogram::Histogram(double min_value, double max_value,
+                     unsigned buckets_per_decade)
+    : minValue_(min_value), maxValue_(max_value)
+{
+    SIM_ASSERT(min_value > 0.0 && max_value > min_value,
+               "invalid histogram range");
+    logMin_ = std::log10(min_value);
+    logStep_ = 1.0 / static_cast<double>(buckets_per_decade);
+    invLogStep_ = static_cast<double>(buckets_per_decade);
+    const double decades = std::log10(max_value) - logMin_;
+    const auto n = static_cast<unsigned>(
+        std::ceil(decades * buckets_per_decade)) + 1;
+    buckets_.assign(n, 0);
+}
+
+unsigned
+Histogram::bucketFor(double v) const
+{
+    v = std::clamp(v, minValue_, maxValue_);
+    const auto i = static_cast<long>((std::log10(v) - logMin_) *
+                                     invLogStep_);
+    const long last = static_cast<long>(buckets_.size()) - 1;
+    return static_cast<unsigned>(std::clamp(i, 0L, last));
+}
+
+double
+Histogram::bucketLow(unsigned i) const
+{
+    return std::pow(10.0, logMin_ + i * logStep_);
+}
+
+double
+Histogram::bucketHigh(unsigned i) const
+{
+    return std::pow(10.0, logMin_ + (i + 1) * logStep_);
+}
+
+void
+Histogram::record(double v)
+{
+    recordN(v, 1);
+}
+
+void
+Histogram::recordN(double v, std::uint64_t n)
+{
+    if (n == 0)
+        return;
+    buckets_[bucketFor(v)] += n;
+    if (count_ == 0) {
+        minSeen_ = maxSeen_ = v;
+    } else {
+        minSeen_ = std::min(minSeen_, v);
+        maxSeen_ = std::max(maxSeen_, v);
+    }
+    count_ += n;
+    sum_ += v * static_cast<double>(n);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    SIM_ASSERT(buckets_.size() == other.buckets_.size(),
+               "histogram geometry mismatch");
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    if (other.count_) {
+        if (count_ == 0) {
+            minSeen_ = other.minSeen_;
+            maxSeen_ = other.maxSeen_;
+        } else {
+            minSeen_ = std::min(minSeen_, other.minSeen_);
+            maxSeen_ = std::max(maxSeen_, other.maxSeen_);
+        }
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+Histogram::percentile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(count_);
+    std::uint64_t seen = 0;
+    for (unsigned i = 0; i < buckets_.size(); ++i) {
+        const std::uint64_t b = buckets_[i];
+        if (b == 0)
+            continue;
+        if (static_cast<double>(seen + b) >= target) {
+            const double within =
+                b ? (target - static_cast<double>(seen)) /
+                        static_cast<double>(b)
+                  : 0.0;
+            const double lo = bucketLow(i);
+            const double hi = bucketHigh(i);
+            const double v = lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+            return std::clamp(v, minSeen_, maxSeen_);
+        }
+        seen += b;
+    }
+    return maxSeen_;
+}
+
+std::vector<std::pair<double, double>>
+Histogram::cdfPoints() const
+{
+    std::vector<std::pair<double, double>> pts;
+    if (count_ == 0)
+        return pts;
+    std::uint64_t cum = 0;
+    for (unsigned i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        cum += buckets_[i];
+        pts.emplace_back(bucketHigh(i),
+                         static_cast<double>(cum) /
+                             static_cast<double>(count_));
+    }
+    return pts;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ = 0.0;
+    minSeen_ = maxSeen_ = 0.0;
+}
+
+}  // namespace cxlsim::stats

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Log-bucketed histogram for latency distributions.
+ *
+ * The characterization experiments (Figures 3, 4, 6, 7) need
+ * per-request latency distributions with accurate high percentiles
+ * (p99.9, p99.99, p99.999) over millions of samples. A log-spaced
+ * histogram gives bounded memory and ~1% relative bucket error,
+ * which is ample for nanosecond latency CDFs.
+ */
+
+#ifndef CXLSIM_STATS_HISTOGRAM_HH
+#define CXLSIM_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace cxlsim::stats {
+
+/**
+ * Histogram over positive values with geometrically spaced buckets.
+ *
+ * Values are clamped into [minValue, maxValue]. Percentile queries
+ * interpolate linearly within a bucket.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param min_value Lower bound of the tracked range (> 0).
+     * @param max_value Upper bound of the tracked range.
+     * @param buckets_per_decade Resolution; 64 gives <2% bucket width.
+     */
+    explicit Histogram(double min_value = 1.0, double max_value = 1e9,
+                       unsigned buckets_per_decade = 64);
+
+    /** Record one observation. */
+    void record(double v);
+
+    /** Record @p n identical observations. */
+    void recordN(double v, std::uint64_t n);
+
+    /** Merge another histogram with identical geometry. */
+    void merge(const Histogram &other);
+
+    /** Number of recorded observations. */
+    std::uint64_t count() const { return count_; }
+
+    /** Arithmetic mean of recorded observations (exact, not bucketed). */
+    double mean() const;
+
+    double min() const { return count_ ? minSeen_ : 0.0; }
+    double max() const { return count_ ? maxSeen_ : 0.0; }
+
+    /**
+     * Value at quantile @p q in [0, 1], e.g. 0.999 for p99.9.
+     * Returns 0 when empty.
+     */
+    double percentile(double q) const;
+
+    /** Shorthand for percentile(0.5). */
+    double median() const { return percentile(0.5); }
+
+    /**
+     * Dump the distribution as (value, cumulative_fraction) pairs,
+     * one point per non-empty bucket — the format the figure benches
+     * print for CDF curves.
+     */
+    std::vector<std::pair<double, double>> cdfPoints() const;
+
+    /** Remove all observations, keeping geometry. */
+    void reset();
+
+  private:
+    unsigned bucketFor(double v) const;
+    double bucketLow(unsigned i) const;
+    double bucketHigh(unsigned i) const;
+
+    double minValue_;
+    double maxValue_;
+    double logMin_;
+    double invLogStep_;
+    double logStep_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double minSeen_ = 0.0;
+    double maxSeen_ = 0.0;
+};
+
+}  // namespace cxlsim::stats
+
+#endif  // CXLSIM_STATS_HISTOGRAM_HH

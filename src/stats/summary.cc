@@ -1,0 +1,153 @@
+#include "summary.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace cxlsim::stats {
+
+double
+quantile(std::vector<double> samples, double q)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    q = std::clamp(q, 0.0, 1.0);
+    const double pos = q * static_cast<double>(samples.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double
+fractionBelow(const std::vector<double> &samples, double threshold)
+{
+    if (samples.empty())
+        return 0.0;
+    const auto n = static_cast<double>(
+        std::count_if(samples.begin(), samples.end(),
+                      [&](double v) { return v <= threshold; }));
+    return n / static_cast<double>(samples.size());
+}
+
+ViolinSummary
+violinSummary(std::vector<double> samples, unsigned grid_points)
+{
+    ViolinSummary v{};
+    if (samples.empty())
+        return v;
+    std::sort(samples.begin(), samples.end());
+    const auto n = samples.size();
+    auto at = [&](double q) {
+        const double pos = q * static_cast<double>(n - 1);
+        const auto lo = static_cast<std::size_t>(pos);
+        const std::size_t hi = std::min(lo + 1, n - 1);
+        const double frac = pos - static_cast<double>(lo);
+        return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+    };
+    v.min = samples.front();
+    v.max = samples.back();
+    v.p25 = at(0.25);
+    v.median = at(0.5);
+    v.p75 = at(0.75);
+    double sum = 0.0;
+    for (double s : samples)
+        sum += s;
+    v.mean = sum / static_cast<double>(n);
+
+    // Silverman bandwidth for the KDE.
+    double m2 = 0.0;
+    for (double s : samples)
+        m2 += (s - v.mean) * (s - v.mean);
+    const double sd = std::sqrt(m2 / static_cast<double>(n));
+    const double iqr = v.p75 - v.p25;
+    double h = 0.9 * std::min(sd, iqr / 1.34) *
+               std::pow(static_cast<double>(n), -0.2);
+    if (h <= 0.0)
+        h = std::max(1e-9, (v.max - v.min) / 16.0 + 1e-9);
+
+    v.gridValues.resize(grid_points);
+    v.density.resize(grid_points);
+    const double span = std::max(v.max - v.min, 1e-12);
+    for (unsigned i = 0; i < grid_points; ++i) {
+        const double x =
+            v.min + span * static_cast<double>(i) /
+                        static_cast<double>(grid_points - 1);
+        v.gridValues[i] = x;
+        double d = 0.0;
+        for (double s : samples) {
+            const double z = (x - s) / h;
+            d += std::exp(-0.5 * z * z);
+        }
+        v.density[i] = d / (static_cast<double>(n) * h *
+                            std::sqrt(2.0 * M_PI));
+    }
+    return v;
+}
+
+double
+pearson(const std::vector<double> &x, const std::vector<double> &y)
+{
+    SIM_ASSERT(x.size() == y.size(), "pearson: size mismatch");
+    const auto n = x.size();
+    if (n < 2)
+        return 0.0;
+    double mx = 0.0, my = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        mx += x[i];
+        my += y[i];
+    }
+    mx /= static_cast<double>(n);
+    my /= static_cast<double>(n);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double dx = x[i] - mx;
+        const double dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx <= 0.0 || syy <= 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double
+regressionSlope(const std::vector<double> &x, const std::vector<double> &y)
+{
+    SIM_ASSERT(x.size() == y.size(), "regressionSlope: size mismatch");
+    const auto n = x.size();
+    if (n < 2)
+        return 0.0;
+    double mx = 0.0, my = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        mx += x[i];
+        my += y[i];
+    }
+    mx /= static_cast<double>(n);
+    my /= static_cast<double>(n);
+    double sxy = 0.0, sxx = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sxy += (x[i] - mx) * (y[i] - my);
+        sxx += (x[i] - mx) * (x[i] - mx);
+    }
+    return sxx > 0.0 ? sxy / sxx : 0.0;
+}
+
+std::vector<std::pair<double, double>>
+empiricalCdf(std::vector<double> samples)
+{
+    std::vector<std::pair<double, double>> pts;
+    if (samples.empty())
+        return pts;
+    std::sort(samples.begin(), samples.end());
+    const auto n = static_cast<double>(samples.size());
+    pts.reserve(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i)
+        pts.emplace_back(samples[i], static_cast<double>(i + 1) / n);
+    return pts;
+}
+
+}  // namespace cxlsim::stats

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Batch summaries over sample vectors: exact quantiles, CDF grids,
+ * violin-plot summaries (Figure 9a) and Pearson correlation
+ * (Figure 12a's y = x check).
+ */
+
+#ifndef CXLSIM_STATS_SUMMARY_HH
+#define CXLSIM_STATS_SUMMARY_HH
+
+#include <vector>
+
+namespace cxlsim::stats {
+
+/** Exact quantile of a sample vector (copies and sorts). */
+double quantile(std::vector<double> samples, double q);
+
+/**
+ * Fraction of samples <= @p threshold — the "X% of workloads see
+ * less than Y slowdown" statistic used throughout §4.
+ */
+double fractionBelow(const std::vector<double> &samples, double threshold);
+
+/** Five-number + density summary for one violin in Figure 9a. */
+struct ViolinSummary
+{
+    double min, p25, median, p75, max, mean;
+    /** Kernel-density estimate sampled at `gridValues`. */
+    std::vector<double> gridValues;
+    std::vector<double> density;
+};
+
+/**
+ * Build a violin summary with a Gaussian KDE over @p grid_points
+ * evaluation points.
+ */
+ViolinSummary violinSummary(std::vector<double> samples,
+                            unsigned grid_points = 32);
+
+/** Pearson correlation coefficient of two equal-length vectors. */
+double pearson(const std::vector<double> &x, const std::vector<double> &y);
+
+/** Least-squares slope of y on x (through the data, with intercept). */
+double regressionSlope(const std::vector<double> &x,
+                       const std::vector<double> &y);
+
+/**
+ * CDF of a sample vector evaluated as (value, fraction<=value)
+ * points at every sample (sorted) — exact empirical CDF.
+ */
+std::vector<std::pair<double, double>>
+empiricalCdf(std::vector<double> samples);
+
+}  // namespace cxlsim::stats
+
+#endif  // CXLSIM_STATS_SUMMARY_HH

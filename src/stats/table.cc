@@ -1,0 +1,78 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace cxlsim::stats {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    SIM_ASSERT(cells.size() == headers_.size(), "table row arity mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::string out;
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out += row[c];
+            if (c + 1 < row.size())
+                out.append(widths[c] - row[c].size() + 2, ' ');
+        }
+        out += '\n';
+    };
+    emitRow(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    out.append(total, '-');
+    out += '\n';
+    for (const auto &row : rows_)
+        emitRow(row);
+    return out;
+}
+
+std::string
+Table::csv() const
+{
+    std::string out;
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out += row[c];
+            if (c + 1 < row.size())
+                out += ',';
+        }
+        out += '\n';
+    };
+    emitRow(headers_);
+    for (const auto &row : rows_)
+        emitRow(row);
+    return out;
+}
+
+}  // namespace cxlsim::stats

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fixed-width text table and CSV emitters used by the benchmark
+ * harnesses to print the rows/series the paper's tables and figures
+ * report.
+ */
+
+#ifndef CXLSIM_STATS_TABLE_HH
+#define CXLSIM_STATS_TABLE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace cxlsim::stats {
+
+/** A simple column-aligned table that renders to stdout or a string. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format doubles with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Render with padded columns and a header underline. */
+    std::string render() const;
+
+    /** Render and print to stdout. */
+    void print() const { std::fputs(render().c_str(), stdout); }
+
+    /** Render as CSV (no padding). */
+    std::string csv() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cxlsim::stats
+
+#endif  // CXLSIM_STATS_TABLE_HH

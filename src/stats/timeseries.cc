@@ -1,0 +1,48 @@
+#include "timeseries.hh"
+
+#include <algorithm>
+
+namespace cxlsim::stats {
+
+double
+TimeSeries::maxValue() const
+{
+    double m = 0.0;
+    for (const auto &p : points_)
+        m = std::max(m, p.value);
+    return m;
+}
+
+double
+TimeSeries::meanValue() const
+{
+    if (points_.empty())
+        return 0.0;
+    double s = 0.0;
+    for (const auto &p : points_)
+        s += p.value;
+    return s / static_cast<double>(points_.size());
+}
+
+TimeSeries
+TimeSeries::downsampleMax(std::size_t max_points) const
+{
+    TimeSeries out;
+    if (points_.empty() || max_points == 0)
+        return out;
+    if (points_.size() <= max_points)
+        return *this;
+    const std::size_t stride =
+        (points_.size() + max_points - 1) / max_points;
+    for (std::size_t i = 0; i < points_.size(); i += stride) {
+        const std::size_t end = std::min(i + stride, points_.size());
+        TimePoint best = points_[i];
+        for (std::size_t j = i + 1; j < end; ++j)
+            if (points_[j].value > best.value)
+                best = points_[j];
+        out.add(best.when, best.value);
+    }
+    return out;
+}
+
+}  // namespace cxlsim::stats

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Tick-stamped sample series for the 1ms-sampling experiments
+ * (Figure 7a/b latency/bandwidth over time, and the Spa
+ * period-based analysis in §5.6).
+ */
+
+#ifndef CXLSIM_STATS_TIMESERIES_HH
+#define CXLSIM_STATS_TIMESERIES_HH
+
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cxlsim::stats {
+
+/** One (time, value) observation. */
+struct TimePoint
+{
+    Tick when;
+    double value;
+};
+
+/** An append-only series of tick-stamped scalar samples. */
+class TimeSeries
+{
+  public:
+    void add(Tick when, double value) { points_.push_back({when, value}); }
+
+    const std::vector<TimePoint> &points() const { return points_; }
+    bool empty() const { return points_.empty(); }
+    std::size_t size() const { return points_.size(); }
+
+    /** Maximum value over the series (0 if empty). */
+    double maxValue() const;
+
+    /** Mean value over the series (0 if empty). */
+    double meanValue() const;
+
+    /**
+     * Downsample to at most @p max_points evenly spaced points,
+     * keeping the per-window maximum (spikes must survive —
+     * they are the phenomenon in Figure 7a).
+     */
+    TimeSeries downsampleMax(std::size_t max_points) const;
+
+  private:
+    std::vector<TimePoint> points_;
+};
+
+}  // namespace cxlsim::stats
+
+#endif  // CXLSIM_STATS_TIMESERIES_HH

@@ -1,0 +1,763 @@
+#include "suite.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace cxlsim::workloads {
+
+namespace {
+
+constexpr std::uint64_t MB = 1ULL << 20;
+constexpr std::uint64_t GB = 1ULL << 30;
+
+/** Deterministic per-name jitter in [1-amp, 1+amp]. */
+double
+jitterFor(const std::string &name, std::uint64_t salt, double amp)
+{
+    std::uint64_t h = 1469598103934665603ULL ^ salt;
+    for (char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    Rng r(h);
+    return 1.0 + amp * (2.0 * r.uniform() - 1.0);
+}
+
+/** Base profile for a family archetype. */
+WorkloadProfile
+base(const std::string &name, const std::string &family)
+{
+    WorkloadProfile p;
+    p.name = name;
+    p.family = family;
+    std::uint64_t h = 14695981039346656037ULL;
+    for (char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    p.seed = h;
+    return p;
+}
+
+/** Compute-bound archetype: little memory traffic. */
+WorkloadProfile
+computeBound(const std::string &name, const std::string &family)
+{
+    WorkloadProfile p = base(name, family);
+    p.threads = 1;
+    p.uopsPerBlock = 32.0 * jitterFor(name, 1, 0.3);
+    p.loadsPerBlock = 0.5 * jitterFor(name, 2, 0.3);
+    p.storesPerBlock = 0.03;
+    p.seqFrac = 0.02;
+    p.strideFrac = 0.01;
+    p.hotFrac = 0.9685 - 0.0015 * jitterFor(name, 21, 1.0);
+    p.dependentFrac = 0.1;
+    p.coldBurst = 4;
+    p.workingSetBytes =
+        static_cast<std::uint64_t>(96.0 * jitterFor(name, 3, 0.5)) * MB;
+    p.exec.frontendStallFrac = 0.08;
+    p.exec.onePortFrac = 0.15;
+    p.exec.twoPortFrac = 0.2;
+    return p;
+}
+
+/** Moderate mixed memory behaviour. */
+WorkloadProfile
+mixed(const std::string &name, const std::string &family)
+{
+    WorkloadProfile p = base(name, family);
+    p.threads = 2;
+    p.uopsPerBlock = 18.0 * jitterFor(name, 4, 0.3);
+    p.loadsPerBlock = 0.7 * jitterFor(name, 5, 0.3);
+    p.storesPerBlock = 0.08 * jitterFor(name, 6, 0.4);
+    p.seqFrac = 0.06;
+    p.strideFrac = 0.03;
+    p.hotFrac = 0.9085 - 0.002 * jitterFor(name, 22, 1.0);
+    p.dependentFrac = 0.18 * jitterFor(name, 7, 0.4);
+    p.coldBurst = 4;
+    p.workingSetBytes = static_cast<std::uint64_t>(
+                            700.0 * jitterFor(name, 8, 0.6)) * MB;
+    return p;
+}
+
+/** Latency-sensitive, pointer-heavy archetype. */
+WorkloadProfile
+latencyBound(const std::string &name, const std::string &family)
+{
+    WorkloadProfile p = base(name, family);
+    p.threads = 1;
+    p.uopsPerBlock = 12.0 * jitterFor(name, 9, 0.25);
+    p.loadsPerBlock = 0.8 * jitterFor(name, 10, 0.25);
+    p.storesPerBlock = 0.06;
+    p.seqFrac = 0.015;
+    p.strideFrac = 0.005;
+    p.hotFrac = 0.966 - 0.004 * jitterFor(name, 23, 1.0);
+    p.dependentFrac = 0.45 * jitterFor(name, 11, 0.3);
+    p.coldBurst = 2;
+    p.workingSetBytes = static_cast<std::uint64_t>(
+                            2200.0 * jitterFor(name, 12, 0.5)) * MB;
+    return p;
+}
+
+/** Bandwidth-bound streaming archetype (HPC). */
+WorkloadProfile
+bandwidthBound(const std::string &name, const std::string &family)
+{
+    WorkloadProfile p = base(name, family);
+    p.threads = 8;
+    p.uopsPerBlock = 16.0 * jitterFor(name, 13, 0.2);
+    p.loadsPerBlock = 0.30 * jitterFor(name, 14, 0.15);
+    p.storesPerBlock = 0.05 * jitterFor(name, 15, 0.3);
+    p.seqFrac = 0.80;
+    p.strideFrac = 0.08;
+    p.hotFrac = 0.08;
+    p.dependentFrac = 0.03;
+    p.coldBurst = 8;
+    p.workingSetBytes = 3 * GB;
+    p.exec.frontendStallFrac = 0.02;
+    p.blocksPerCore = 40000;
+    return p;
+}
+
+/** Graph-processing archetype: random, high MLP, large sets. */
+WorkloadProfile
+graph(const std::string &name, const std::string &graph_name)
+{
+    WorkloadProfile p = base(name, "GAPBS");
+    p.threads = 8;
+    p.uopsPerBlock = 10.0 * jitterFor(name, 16, 0.2);
+    p.loadsPerBlock = 0.7 * jitterFor(name, 17, 0.25);
+    p.storesPerBlock = 0.06;
+    p.seqFrac = 0.10;
+    p.strideFrac = 0.02;
+    p.hotFrac = 0.874;
+    p.dependentFrac = 0.10;
+    p.coldBurst = 8;  // frontier gathers overlap
+    p.blocksPerCore = 40000;
+    std::uint64_t ws = 2 * GB;
+    if (graph_name == "twitter" || graph_name == "kron")
+        ws = 5 * GB;
+    else if (graph_name == "web")
+        ws = 3 * GB;
+    else if (graph_name == "road")
+        ws = 600 * MB;
+    else if (graph_name == "urand")
+        ws = 4 * GB;
+    p.workingSetBytes = ws;
+    p.zipfSkew = (graph_name == "twitter" || graph_name == "kron")
+                     ? 0.8
+                     : 0.3;
+    return p;
+}
+
+/** YCSB request-mix archetype on an in-memory store. */
+WorkloadProfile
+ycsb(const std::string &store, char mix)
+{
+    WorkloadProfile p =
+        base(store + "/ycsb-" + std::string(1, mix), "YCSB");
+    const bool voltdb = store == "voltdb";
+    p.threads = 8;
+    p.uopsPerBlock = voltdb ? 34.0 : 24.0;  // request processing
+    p.loadsPerBlock = 1.0;
+    p.seqFrac = 0.03;
+    p.strideFrac = 0.01;
+    p.hotFrac = 0.954;      // indices / hot keys are cache-resident
+    p.dependentFrac = 0.55;  // index/hash walks: latency-critical
+    p.coldBurst = 2;
+    p.workingSetBytes = 8 * GB;
+    p.zipfSkew = 0.45;
+    p.exec.frontendStallFrac = 0.12;  // typical cloud frontend misses
+    double writeFrac;
+    switch (mix) {
+      case 'a':
+        writeFrac = 0.5;
+        break;
+      case 'b':
+        writeFrac = 0.05;
+        break;
+      case 'c':
+        writeFrac = 0.0;
+        break;
+      case 'd':
+        writeFrac = 0.05;
+        p.zipfSkew = 0.6;  // latest distribution
+        break;
+      case 'e':
+        writeFrac = 0.05;
+        p.seqFrac = 0.3;  // scans
+        p.hotFrac = 0.6;
+        p.dependentFrac = 0.3;
+        break;
+      default:  // 'f' read-modify-write
+        writeFrac = 0.5;
+        break;
+    }
+    p.storesPerBlock = p.loadsPerBlock * writeFrac *
+                       (voltdb ? 1.3 : 1.0);
+    p.storeHotFrac = 0.88;  // in-place value updates
+    return p;
+}
+
+void
+addSpec(std::vector<WorkloadProfile> *out)
+{
+    auto add = [&](WorkloadProfile p) { out->push_back(std::move(p)); };
+
+    // --- Bandwidth-bound quartet the paper calls out (Fig 8b):
+    // need > 24 GB/s, saturating CXL-{A,B,C}.
+    for (const char *n :
+         {"603.bwaves_s", "619.lbm_s", "649.fotonik3d_s",
+          "654.roms_s"}) {
+        WorkloadProfile p = bandwidthBound(n, "SPEC");
+        p.threads = 10;
+        p.loadsPerBlock = 0.20;
+        add(p);
+    }
+    // Rate versions: lighter but still streaming.
+    for (const char *n :
+         {"503.bwaves_r", "519.lbm_r", "549.fotonik3d_r",
+          "554.roms_r"}) {
+        WorkloadProfile p = bandwidthBound(n, "SPEC");
+        p.threads = 6;
+        p.loadsPerBlock = 0.16;
+        add(p);
+    }
+    // 519/619 lbm: store-buffer-bound (RFO-heavy, §5.5).
+    {
+        WorkloadProfile &lbm = (*out)[out->size() - 3];
+        SIM_ASSERT(lbm.name == "519.lbm_r", "suite order");
+        lbm.storesPerBlock = 0.22;
+        lbm.loadsPerBlock = 0.07;
+        lbm.seqFrac = 0.35;
+        lbm.hotFrac = 0.55;
+        lbm.storeHotFrac = 0.05;
+    }
+    {
+        WorkloadProfile &lbm = (*out)[out->size() - 7];
+        SIM_ASSERT(lbm.name == "619.lbm_s", "suite order");
+        lbm.storesPerBlock = 0.26;
+        lbm.loadsPerBlock = 0.08;
+        lbm.seqFrac = 0.35;
+        lbm.hotFrac = 0.55;
+        lbm.storeHotFrac = 0.05;
+    }
+
+    // --- 605.mcf / 505.mcf: LLC-miss dominated demand reads.
+    for (const char *n : {"605.mcf_s", "505.mcf_r"}) {
+        WorkloadProfile p = latencyBound(n, "SPEC");
+        p.threads = 1;
+        p.loadsPerBlock = 0.9;
+        p.seqFrac = 0.03;
+        p.strideFrac = 0.01;
+        p.hotFrac = 0.955;
+        p.dependentFrac = 0.35;
+        p.coldBurst = 2;
+        p.workingSetBytes = 4 * GB;
+        p.zipfSkew = 0.8;  // two hot 2GB arrays -> skewed reuse
+        p.blocksPerCore = 120000;
+        // Bursty phases (Fig 16b).
+        p.phases = {{0.2, 1.6, 1.3, 1.0}, {0.15, 0.5, 0.6, 1.0},
+                    {0.25, 1.8, 1.4, 1.0}, {0.2, 0.6, 0.7, 1.0},
+                    {0.2, 1.5, 1.2, 1.0}};
+        add(p);
+    }
+
+    // --- 520.omnetpp: <1 GB/s, tail-latency sensitive (Fig 8c/d).
+    {
+        WorkloadProfile p = latencyBound("520.omnetpp_r", "SPEC");
+        p.threads = 1;
+        p.uopsPerBlock = 22.0;
+        p.loadsPerBlock = 0.8;
+        p.seqFrac = 0.02;
+        p.strideFrac = 0.0;
+        p.hotFrac = 0.976;
+        p.dependentFrac = 0.85;  // discrete-event heap walking
+        p.coldBurst = 1;
+        p.workingSetBytes = 1200 * MB;
+        p.blocksPerCore = 150000;
+        add(p);
+    }
+
+    // --- 602.gcc: heavy first two-thirds, light tail (Fig 16a).
+    {
+        WorkloadProfile p = mixed("602.gcc_s", "SPEC");
+        p.threads = 1;
+        p.loadsPerBlock = 0.8;
+        p.hotFrac = 0.90;
+        p.dependentFrac = 0.35;
+        p.workingSetBytes = 1500 * MB;
+        p.blocksPerCore = 150000;
+        p.phases = {{0.66, 1.5, 1.2, 1.2}, {0.34, 0.35, 0.5, 0.6}};
+        add(p);
+    }
+
+    // --- 631.deepsjeng: moderate, fluctuating (Fig 16c).
+    {
+        WorkloadProfile p = mixed("631.deepsjeng_s", "SPEC");
+        p.threads = 1;
+        p.loadsPerBlock = 0.7;
+        p.hotFrac = 0.925;
+        p.dependentFrac = 0.3;
+        p.workingSetBytes = 900 * MB;
+        p.blocksPerCore = 150000;
+        p.phases = {{0.25, 1.2, 1.0, 1.0}, {0.25, 0.6, 0.8, 1.0},
+                    {0.25, 1.3, 1.1, 1.0}, {0.25, 0.7, 0.9, 1.0}};
+        add(p);
+    }
+
+    // --- 508.namd: compute-dominant, rare bandwidth spikes (Fig 7a).
+    {
+        WorkloadProfile p = computeBound("508.namd_r", "SPEC");
+        p.loadsPerBlock = 0.4;
+        p.workingSetBytes = 700 * MB;
+        p.blocksPerCore = 120000;
+        p.phases = {{0.46, 1.0, 1.0, 1.0}, {0.04, 10.0, 0.3, 1.0},
+                    {0.46, 1.0, 1.0, 1.0}, {0.04, 10.0, 0.3, 1.0}};
+        // Spikes are streaming (force-field table sweeps).
+        p.seqFrac = 0.30;
+        p.hotFrac = 0.66;
+        add(p);
+    }
+
+    // --- Prefetch-coverage cast of Fig 12b (602/603 etc. covered
+    // above): 607.cactuBSSN stride-friendly.
+    {
+        WorkloadProfile p = mixed("607.cactuBSSN_s", "SPEC");
+        p.threads = 4;
+        p.seqFrac = 0.40;
+        p.strideFrac = 0.30;
+        p.hotFrac = 0.25;
+        p.loadsPerBlock = 0.35;
+        p.workingSetBytes = 2 * GB;
+        add(p);
+    }
+
+    // --- Remaining SPEC CPU 2017 (archetype-derived).
+    for (const char *n :
+         {"500.perlbench_r", "502.gcc_r", "523.xalancbmk_r",
+          "531.deepsjeng_r", "541.leela_r", "557.xz_r",
+          "600.perlbench_s", "623.xalancbmk_s", "641.leela_s",
+          "657.xz_s"}) {
+        add(mixed(n, "SPEC"));
+    }
+    for (const char *n :
+         {"508.povray_like_r", "511.povray_r", "525.x264_r",
+          "538.imagick_r", "548.exchange2_r", "625.x264_s",
+          "638.imagick_s", "648.exchange2_s", "644.nab_s",
+          "544.nab_r", "621.wrf_s", "527.cam4_r"}) {
+        add(computeBound(n, "SPEC"));
+    }
+    {
+        WorkloadProfile p = latencyBound("510.parest_r", "SPEC");
+        add(p);
+    }
+    {
+        WorkloadProfile p = mixed("526.blender_r", "SPEC");
+        add(p);
+    }
+    {
+        WorkloadProfile p = bandwidthBound("628.pop2_s", "SPEC");
+        p.threads = 6;
+        p.loadsPerBlock = 0.25;
+        add(p);
+    }
+    {
+        WorkloadProfile p = bandwidthBound("607.roms_like_r", "SPEC");
+        p.threads = 4;
+        p.loadsPerBlock = 0.22;
+        add(p);
+    }
+}
+
+void
+addGapbs(std::vector<WorkloadProfile> *out)
+{
+    const char *algos[] = {"bc", "bfs", "cc", "pr", "sssp", "tc"};
+    const char *graphs[] = {"web", "twitter", "urand", "kron", "road"};
+    for (const char *a : algos) {
+        for (const char *g : graphs) {
+            WorkloadProfile p =
+                graph(std::string(a) + "-" + g, g);
+            if (std::string(a) == "pr") {
+                p.seqFrac = 0.22;  // rank arrays stream
+                p.strideFrac = 0.02;
+                p.hotFrac = 0.72;
+                p.loadsPerBlock = 0.32;
+            } else if (std::string(a) == "tc") {
+                p.uopsPerBlock = 22.0;  // counting-heavy
+                p.loadsPerBlock = 0.35;
+                p.hotFrac = 0.80;
+            } else if (std::string(a) == "sssp") {
+                p.dependentFrac = 0.3;  // priority queue
+            } else if (std::string(a) == "bfs") {
+                p.loadsPerBlock = 0.8;
+            }
+            out->push_back(std::move(p));
+        }
+    }
+}
+
+void
+addPbbs(std::vector<WorkloadProfile> *out)
+{
+    const char *names[] = {
+        "pbbs-sort", "pbbs-intsort", "pbbs-dedup", "pbbs-histogram",
+        "pbbs-wordcount", "pbbs-suffixarray", "pbbs-bfs", "pbbs-mis",
+        "pbbs-matching", "pbbs-spanner", "pbbs-hull", "pbbs-delaunay",
+        "pbbs-raycast", "pbbs-nn", "pbbs-nbody", "pbbs-mst"};
+    unsigned i = 0;
+    for (const char *n : names) {
+        WorkloadProfile p = (i % 3 == 0)
+                                ? bandwidthBound(n, "PBBS")
+                                : (i % 3 == 1 ? mixed(n, "PBBS")
+                                              : latencyBound(n, "PBBS"));
+        p.family = "PBBS";
+        p.threads = 8;
+        if (i % 3 == 0) {
+            p.loadsPerBlock *= 0.75;  // not as extreme as HPC
+            p.threads = 8;
+        }
+        out->push_back(std::move(p));
+        ++i;
+    }
+}
+
+void
+addParsec(std::vector<WorkloadProfile> *out)
+{
+    struct Entry
+    {
+        const char *name;
+        int kind;  // 0 compute, 1 mixed, 2 latency, 3 bandwidth
+    };
+    const Entry entries[] = {
+        {"parsec-blackscholes", 0}, {"parsec-bodytrack", 1},
+        {"parsec-canneal", 2},      {"parsec-dedup", 1},
+        {"parsec-facesim", 3},      {"parsec-ferret", 1},
+        {"parsec-fluidanimate", 3}, {"parsec-freqmine", 1},
+        {"parsec-raytrace", 0},     {"parsec-streamcluster", 3},
+        {"parsec-swaptions", 0},    {"parsec-vips", 1},
+        {"parsec-x264", 0}};
+    for (const auto &e : entries) {
+        WorkloadProfile p;
+        switch (e.kind) {
+          case 0:
+            p = computeBound(e.name, "PARSEC");
+            break;
+          case 1:
+            p = mixed(e.name, "PARSEC");
+            break;
+          case 2:
+            p = latencyBound(e.name, "PARSEC");
+            break;
+          default:
+            p = bandwidthBound(e.name, "PARSEC");
+            p.threads = 8;
+            p.loadsPerBlock *= 0.8;
+            break;
+        }
+        p.family = "PARSEC";
+        out->push_back(std::move(p));
+    }
+}
+
+void
+addCloudAndPhoronix(std::vector<WorkloadProfile> *out)
+{
+    // CloudSuite: service workloads, frontend-heavy, latency-bound.
+    const char *cloud[] = {
+        "cloud-data-analytics", "cloud-data-caching",
+        "cloud-data-serving",   "cloud-graph-analytics",
+        "cloud-inmem-analytics", "cloud-media-streaming",
+        "cloud-web-search",     "cloud-web-serving"};
+    unsigned i = 0;
+    for (const char *n : cloud) {
+        WorkloadProfile p = (i % 2 == 0) ? latencyBound(n, "Cloud")
+                                         : mixed(n, "Cloud");
+        p.family = "Cloud";
+        p.threads = 8;
+        p.hotFrac = std::min(0.965, p.hotFrac + 0.02);
+        p.exec.frontendStallFrac = 0.18;  // >30% frontend-bound mix
+        p.zipfSkew = 0.55;
+        out->push_back(std::move(p));
+        ++i;
+    }
+
+    // Phoronix: a broad mostly-light population.
+    const char *phoronix[] = {
+        "pts-compress-7zip", "pts-openssl",      "pts-sqlite",
+        "pts-nginx",         "pts-build-kernel", "pts-ffmpeg",
+        "pts-x265",          "pts-blender",      "pts-gimp",
+        "pts-git",           "pts-pybench",      "pts-phpbench",
+        "pts-redis-bench",   "pts-ramspeed",     "pts-stream",
+        "pts-cachebench",    "pts-crafty",       "pts-gzip",
+        "pts-john-the-ripper", "pts-apache"};
+    i = 0;
+    for (const char *n : phoronix) {
+        WorkloadProfile p;
+        if (std::string(n) == "pts-stream" ||
+            std::string(n) == "pts-ramspeed") {
+            p = bandwidthBound(n, "Phoronix");
+            p.threads = 8;
+        } else if (i % 4 == 3) {
+            p = mixed(n, "Phoronix");
+        } else {
+            p = computeBound(n, "Phoronix");
+        }
+        p.family = "Phoronix";
+        out->push_back(std::move(p));
+        ++i;
+    }
+}
+
+void
+addDatabasesAndAnalytics(std::vector<WorkloadProfile> *out)
+{
+    for (char m : {'a', 'b', 'c', 'd', 'e', 'f'}) {
+        out->push_back(ycsb("redis", m));
+        out->push_back(ycsb("voltdb", m));
+    }
+    // Additional caching/database points.
+    for (const char *n :
+         {"memcached-read", "memcached-mixed", "memtier-heavy",
+          "rocksdb-readrandom"}) {
+        WorkloadProfile p = ycsb("redis", 'b');
+        p.name = n;
+        p.family = "Cloud";
+        p.seed = base(n, "Cloud").seed;  // per-name RNG stream
+        p.workingSetBytes = static_cast<std::uint64_t>(
+            6.0 * jitterFor(n, 40, 0.4) * static_cast<double>(GB));
+        p.dependentFrac = 0.5 * jitterFor(n, 41, 0.2);
+        out->push_back(std::move(p));
+    }
+
+    // Spark / HiBench analytics.
+    const char *spark[] = {"spark-wordcount", "spark-terasort",
+                           "spark-kmeans",    "spark-pagerank",
+                           "spark-bayes",     "spark-join",
+                           "spark-scan",      "spark-aggregate",
+                           "spark-sort",      "spark-svm"};
+    unsigned i = 0;
+    for (const char *n : spark) {
+        WorkloadProfile p = (i % 2 == 0) ? mixed(n, "Spark")
+                                         : bandwidthBound(n, "Spark");
+        p.family = "Spark";
+        p.threads = 8;
+        if (i % 2 == 1)
+            p.loadsPerBlock *= 0.7;
+        p.workingSetBytes = 4 * GB;
+        out->push_back(std::move(p));
+        ++i;
+    }
+}
+
+void
+addMl(std::vector<WorkloadProfile> *out)
+{
+    // Transformer inference: streaming weight reads, high bandwidth.
+    for (const char *n : {"gpt2-small", "gpt2-medium", "gpt2-xl"}) {
+        WorkloadProfile p = bandwidthBound(n, "ML");
+        p.threads = 8;
+        p.loadsPerBlock = 0.22;
+        p.storesPerBlock = 0.02;
+        p.seqFrac = 0.85;
+        p.workingSetBytes =
+            std::string(n) == "gpt2-xl" ? 6 * GB : 2 * GB;
+        p.uopsPerBlock = 14.0;  // some compute per weight
+        out->push_back(std::move(p));
+    }
+    for (const char *n : {"llama-7b-prefill", "llama-7b-decode"}) {
+        WorkloadProfile p = bandwidthBound(n, "ML");
+        p.threads = 8;
+        p.workingSetBytes = 13 * GB;
+        p.seqFrac = 0.88;
+        p.strideFrac = 0.04;
+        p.hotFrac = 0.06;
+        if (std::string(n) == "llama-7b-decode") {
+            p.loadsPerBlock = 0.30;  // memory-bound token generation
+            p.uopsPerBlock = 8.0;
+        } else {
+            p.loadsPerBlock = 0.16;
+            p.uopsPerBlock = 18.0;  // compute-dense GEMM
+        }
+        out->push_back(std::move(p));
+    }
+    // DLRM: random embedding-table gathers (DRAM-slowdown-dominated).
+    for (const char *n : {"dlrm-inference", "dlrm-terabyte"}) {
+        WorkloadProfile p = latencyBound(n, "ML");
+        p.threads = 8;
+        p.loadsPerBlock = 0.6;
+        p.seqFrac = 0.10;
+        p.strideFrac = 0.0;
+        p.hotFrac = 0.88;
+        p.dependentFrac = 0.10;  // gathers are independent
+        p.coldBurst = 8;
+        p.workingSetBytes = 12 * GB;
+        p.zipfSkew = 0.9;
+        p.blocksPerCore = 40000;
+        out->push_back(std::move(p));
+    }
+    for (const char *n :
+         {"bert-large", "resnet50-infer", "mlperf-rnnt",
+          "mlperf-3dunet", "vgg16-infer"}) {
+        WorkloadProfile p = mixed(n, "ML");
+        p.threads = 8;
+        p.seqFrac = 0.35;
+        p.hotFrac = 0.615;
+        p.loadsPerBlock = 0.4;
+        p.workingSetBytes = 2 * GB;
+        out->push_back(std::move(p));
+    }
+}
+
+void
+addMicrobench(std::vector<WorkloadProfile> *out, std::size_t target)
+{
+    // Parameter grid filling the suite to 265 workloads, biased
+    // toward light-to-moderate points like the long Phoronix tail.
+    const char *patterns[] = {"seq", "rnd", "chase", "mix", "store"};
+    const std::uint64_t sets[] = {64 * MB, 256 * MB, 1 * GB, 4 * GB};
+    const double intensities[] = {0.25, 0.7, 1.6};
+    std::size_t i = 0;
+    while (out->size() < target) {
+        const char *pat = patterns[i % 5];
+        const std::uint64_t ws = sets[(i / 5) % 4];
+        const unsigned level = (i / 20) % 3;
+        const double inten = intensities[level];
+        std::string name = "ubench-" + std::string(pat) + "-" +
+                           std::to_string(ws / MB) + "m-i" +
+                           std::to_string(i);
+        WorkloadProfile p = base(name, "ubench");
+        p.threads = (i % 3 == 2) ? 4 : 1;
+        p.uopsPerBlock = 16.0;
+        p.loadsPerBlock = 0.5;
+        p.storesPerBlock = 0.02;
+        p.workingSetBytes = ws;
+        p.coldBurst = 4;
+        // Most points are light-to-moderate (the long Phoronix-like
+        // tail of the suite); "level" scales DRAM pressure.
+        const double hotByLevel[3] = {0.985, 0.965, 0.93};
+        if (std::string(pat) == "seq") {
+            const double seqLoads[3] = {0.03, 0.08, 0.2};
+            p.loadsPerBlock = seqLoads[level] / 0.9;
+            p.seqFrac = 0.85;
+            p.strideFrac = 0.05;
+            p.hotFrac = 0.10;
+            p.dependentFrac = 0.0;
+        } else if (std::string(pat) == "rnd") {
+            p.seqFrac = 0.02;
+            p.strideFrac = 0.0;
+            p.hotFrac = hotByLevel[level];
+            p.dependentFrac = 0.05;
+        } else if (std::string(pat) == "chase") {
+            p.seqFrac = 0.0;
+            p.strideFrac = 0.0;
+            const double chaseHot[3] = {0.99, 0.975, 0.95};
+            p.hotFrac = chaseHot[level];
+            p.dependentFrac = 0.9;
+            p.coldBurst = 1;
+            p.loadsPerBlock = std::min(inten, 0.6);
+        } else if (std::string(pat) == "mix") {
+            p.seqFrac = 0.12;
+            p.strideFrac = 0.03;
+            p.hotFrac = hotByLevel[level] - 0.14;
+            p.dependentFrac = 0.2;
+        } else {  // store
+            p.seqFrac = 0.10;
+            p.strideFrac = 0.02;
+            p.hotFrac = 0.86;
+            p.dependentFrac = 0.05;
+            const double stores[3] = {0.015, 0.04, 0.08};
+            p.storesPerBlock = stores[level];
+            p.loadsPerBlock = 0.3;
+        }
+        out->push_back(std::move(p));
+        ++i;
+    }
+}
+
+std::vector<WorkloadProfile>
+buildSuite()
+{
+    std::vector<WorkloadProfile> all;
+    all.reserve(265);
+    addSpec(&all);
+    addGapbs(&all);
+    addPbbs(&all);
+    addParsec(&all);
+    addCloudAndPhoronix(&all);
+    addDatabasesAndAnalytics(&all);
+    addMl(&all);
+    addMicrobench(&all, 265);
+    SIM_ASSERT(all.size() == 265, "suite must contain 265 workloads");
+    return all;
+}
+
+}  // namespace
+
+const std::vector<WorkloadProfile> &
+suite()
+{
+    static const std::vector<WorkloadProfile> s = buildSuite();
+    return s;
+}
+
+std::vector<WorkloadProfile>
+familyWorkloads(const std::string &family)
+{
+    std::vector<WorkloadProfile> out;
+    for (const auto &w : suite())
+        if (w.family == family)
+            out.push_back(w);
+    return out;
+}
+
+bool
+hasWorkload(const std::string &name)
+{
+    for (const auto &w : suite())
+        if (w.name == name)
+            return true;
+    return false;
+}
+
+const WorkloadProfile &
+byName(const std::string &name)
+{
+    for (const auto &w : suite())
+        if (w.name == name)
+            return w;
+    SIM_FATAL("unknown workload: " + name);
+}
+
+std::vector<std::string>
+familyNames()
+{
+    std::vector<std::string> out;
+    for (const auto &w : suite())
+        if (std::find(out.begin(), out.end(), w.family) == out.end())
+            out.push_back(w.family);
+    return out;
+}
+
+std::vector<WorkloadProfile>
+cxlCSubset()
+{
+    // The paper evaluates the 60 workloads whose datasets fit
+    // CXL-C's 16GB; take the first 60 fitting ones in suite order
+    // (a diverse cross-family mix, like the paper's).
+    std::vector<WorkloadProfile> out;
+    for (const auto &w : suite()) {
+        if (w.workingSetBytes <= (14ULL << 30))
+            out.push_back(w);
+        if (out.size() == 60)
+            break;
+    }
+    return out;
+}
+
+}  // namespace cxlsim::workloads

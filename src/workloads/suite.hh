@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The 265-workload characterization suite.
+ *
+ * Mirrors the paper's workload population (§3.1): SPEC CPU 2017,
+ * GAPBS and PBBS graph/parallel benchmarks, PARSEC, CloudSuite,
+ * Phoronix, Redis and VoltDB under YCSB A-F, Spark/HiBench
+ * analytics, ML inference (GPT-2, Llama, DLRM, MLPerf), plus a
+ * parameter-grid microbenchmark family. Workloads the paper
+ * discusses individually (603.bwaves, 605.mcf, 520.omnetpp,
+ * 519.lbm, 602.gcc, 508.namd, YCSB-C on Redis, ...) have
+ * hand-tuned profiles reproducing their published behaviour;
+ * the rest are drawn deterministically from family templates.
+ */
+
+#ifndef CXLSIM_WORKLOADS_SUITE_HH
+#define CXLSIM_WORKLOADS_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/profile.hh"
+
+namespace cxlsim::workloads {
+
+/** All 265 workloads (memoized; stable order). */
+const std::vector<WorkloadProfile> &suite();
+
+/** Workloads of one family ("SPEC", "GAPBS", "YCSB", ...). */
+std::vector<WorkloadProfile> familyWorkloads(const std::string &family);
+
+/** Find a workload by exact name; fatal if absent. */
+const WorkloadProfile &byName(const std::string &name);
+
+/** True if a workload with this name exists. */
+bool hasWorkload(const std::string &name);
+
+/** The family names present in the suite, in suite order. */
+std::vector<std::string> familyNames();
+
+/**
+ * The subset evaluated on CXL-C (its 16GB capacity restricts the
+ * paper to 60 workloads): the 60 with the smallest working sets.
+ */
+std::vector<WorkloadProfile> cxlCSubset();
+
+}  // namespace cxlsim::workloads
+
+#endif  // CXLSIM_WORKLOADS_SUITE_HH

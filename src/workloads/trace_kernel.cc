@@ -1,0 +1,86 @@
+#include "trace_kernel.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace cxlsim::workloads {
+
+std::vector<TraceOp>
+parseTrace(std::istream &in)
+{
+    std::vector<TraceOp> ops;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string kind;
+        ls >> kind;
+        TraceOp op{};
+        if (kind == "L" || kind == "S") {
+            std::string hex;
+            ls >> hex;
+            if (hex.empty())
+                SIM_FATAL("trace line " + std::to_string(lineno) +
+                          ": missing address");
+            op.addr = static_cast<Addr>(
+                std::stoull(hex, nullptr, 16));
+            op.kind = kind == "L" ? TraceOp::Kind::kLoad
+                                  : TraceOp::Kind::kStore;
+            std::string flag;
+            if (ls >> flag)
+                op.dependent = flag == "d";
+        } else if (kind == "C") {
+            op.kind = TraceOp::Kind::kCompute;
+            if (!(ls >> op.uops))
+                SIM_FATAL("trace line " + std::to_string(lineno) +
+                          ": missing uop count");
+        } else {
+            SIM_FATAL("trace line " + std::to_string(lineno) +
+                      ": unknown record '" + kind + "'");
+        }
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+TraceKernel::TraceKernel(std::vector<TraceOp> ops,
+                         unsigned iterations)
+    : ops_(std::move(ops)), iterations_(std::max(1u, iterations))
+{
+}
+
+bool
+TraceKernel::next(cpu::Block *b)
+{
+    if (pos_ >= ops_.size()) {
+        if (++iter_ >= iterations_)
+            return false;
+        pos_ = 0;
+    }
+    b->nOps = 0;
+    b->uops = 1;  // block bookkeeping uop
+
+    // Pack ops until the next compute record or the block fills.
+    while (pos_ < ops_.size() && b->nOps < cpu::Block::kMaxOps) {
+        const TraceOp &op = ops_[pos_];
+        if (op.kind == TraceOp::Kind::kCompute) {
+            b->uops += op.uops;
+            ++pos_;
+            break;
+        }
+        cpu::MemOp m;
+        m.addr = op.addr;
+        m.isStore = op.kind == TraceOp::Kind::kStore;
+        m.dependent = op.dependent;
+        m.streamId = nextStream_;
+        b->addOp(m);
+        ++pos_;
+    }
+    return true;
+}
+
+}  // namespace cxlsim::workloads

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * TraceKernel: replay a recorded memory trace as a workload.
+ *
+ * Lets users run Melody/Spa on their own applications: capture a
+ * trace (e.g. with a PIN/DynamoRIO tool) as text lines
+ *
+ *     L <hex-addr> [d]     demand load ('d' marks a dependent load)
+ *     S <hex-addr>         store
+ *     C <uops>             compute block of N non-memory uops
+ *     # comment
+ *
+ * and replay it against any Platform. The same trace replayed on
+ * Local and CXL backends yields a Spa breakdown for real code.
+ */
+
+#ifndef CXLSIM_WORKLOADS_TRACE_KERNEL_HH
+#define CXLSIM_WORKLOADS_TRACE_KERNEL_HH
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "cpu/kernel.hh"
+
+namespace cxlsim::workloads {
+
+/** One parsed trace record. */
+struct TraceOp
+{
+    enum class Kind : std::uint8_t { kLoad, kStore, kCompute };
+    Kind kind;
+    Addr addr = 0;
+    bool dependent = false;
+    unsigned uops = 0;
+};
+
+/** Parse a trace stream; throws via SIM_FATAL on malformed lines. */
+std::vector<TraceOp> parseTrace(std::istream &in);
+
+/** Kernel replaying a parsed trace (optionally several times). */
+class TraceKernel : public cpu::Kernel
+{
+  public:
+    /**
+     * @param ops        Parsed trace.
+     * @param iterations Number of times to replay the trace.
+     */
+    explicit TraceKernel(std::vector<TraceOp> ops,
+                         unsigned iterations = 1);
+
+    bool next(cpu::Block *b) override;
+
+    /** Lines touched by the trace (for preloading: none — traces
+     *  measure cold behaviour unless the trace warms itself). */
+    std::size_t size() const { return ops_.size(); }
+
+  private:
+    std::vector<TraceOp> ops_;
+    unsigned iterations_;
+    std::size_t pos_ = 0;
+    unsigned iter_ = 0;
+    std::uint16_t nextStream_ = 1;
+};
+
+}  // namespace cxlsim::workloads
+
+#endif  // CXLSIM_WORKLOADS_TRACE_KERNEL_HH

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the extension modules: the cross-device slowdown
+ * predictor (§5.7 "performance prediction") and the two-tier
+ * migration backend (§5.7 "smarter tiering policies").
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/platform.hh"
+#include "core/slowdown.hh"
+#include "cpu/multicore.hh"
+#include "mem/tiering_backend.hh"
+#include "spa/predictor.hh"
+#include "workloads/suite.hh"
+#include "workloads/synthetic_kernel.hh"
+
+using namespace cxlsim;
+
+namespace {
+
+workloads::WorkloadProfile
+small(const char *name, std::uint64_t blocks = 25000)
+{
+    auto w = workloads::byName(name);
+    w.blocksPerCore = std::min(w.blocksPerCore, blocks);
+    return w;
+}
+
+}  // namespace
+
+TEST(Predictor, ZeroDeltaPredictsZeroLatencyTerm)
+{
+    spa::SlowdownModel m;
+    m.latSensitivity = 0.5;
+    m.cacheSensitivity = 0.1;
+    m.localLatencyNs = 111;
+    m.demandGBps = 1.0;
+    const spa::DeviceSheet same{"X", 111, 100};
+    EXPECT_DOUBLE_EQ(m.predict(same), 0.0);
+}
+
+TEST(Predictor, BandwidthTermKicksInPastPeak)
+{
+    spa::SlowdownModel m;
+    m.localLatencyNs = 111;
+    m.demandGBps = 48.0;
+    const spa::DeviceSheet small{"X", 111, 24};
+    EXPECT_NEAR(m.predict(small), 100.0, 1e-9);  // 2x demand
+    const spa::DeviceSheet big{"Y", 111, 96};
+    EXPECT_DOUBLE_EQ(m.predict(big), 0.0);
+}
+
+TEST(Predictor, CrossDevicePredictionTracksActual)
+{
+    melody::SlowdownStudy study(404);
+    const spa::DeviceSheet sheetA{"CXL-A", 214, 32};
+    const spa::DeviceSheet sheetB{"CXL-B", 271, 24};
+
+    for (const char *n : {"605.mcf_s", "redis/ycsb-c", "bfs-web"}) {
+        const auto w = small(n);
+        cpu::RunResult refRun;
+        study.slowdownWithRun(w, "EMR2S", "CXL-A", &refRun);
+        const auto &base = study.baseline(w, "EMR2S");
+        const auto model =
+            spa::fitModel(base, refRun, sheetA, 111.0);
+        const double pred = model.predict(sheetB);
+        const double actual = study.slowdown(w, "EMR2S", "CXL-B");
+        EXPECT_NEAR(pred, actual,
+                    std::max(12.0, 0.5 * actual))
+            << n;
+    }
+}
+
+TEST(Predictor, MonotonicInLatency)
+{
+    melody::SlowdownStudy study(405);
+    const auto w = small("605.mcf_s");
+    cpu::RunResult refRun;
+    study.slowdownWithRun(w, "EMR2S", "CXL-A", &refRun);
+    const auto model = spa::fitModel(
+        study.baseline(w, "EMR2S"), refRun,
+        spa::DeviceSheet{"CXL-A", 214, 32}, 111.0);
+    double prev = -1.0;
+    for (double lat : {150.0, 250.0, 350.0, 450.0}) {
+        const double p =
+            model.predict({"X", lat, 100.0});
+        EXPECT_GE(p, prev);
+        prev = p;
+    }
+}
+
+TEST(Tiering, FirstTouchFillsFastTier)
+{
+    melody::Platform lp("EMR2S", "Local");
+    melody::Platform sp("EMR2S", "CXL-B");
+    mem::TieringBackend::Config cfg;
+    cfg.policy = mem::TieringPolicy::kStatic;
+    cfg.pageBytes = 1 << 20;
+    cfg.fastCapacityBytes = 4ULL << 20;  // 4 pages
+    mem::TieringBackend be("t", lp.makeBackend(1),
+                           sp.makeBackend(1), cfg);
+
+    Tick now = 0;
+    // Touch 8 distinct pages; only the first 4 land fast.
+    std::vector<double> lat(8);
+    for (int p = 0; p < 8; ++p) {
+        const Tick done =
+            be.access(static_cast<Addr>(p) << 20,
+                      mem::ReqType::kDemandLoad, now);
+        lat[p] = ticksToNs(done - now);
+        now = done + nsToTicks(10);
+    }
+    for (int p = 0; p < 4; ++p)
+        EXPECT_LT(lat[p], 220.0) << p;
+    for (int p = 4; p < 8; ++p)
+        EXPECT_GT(lat[p], 220.0) << p;
+    EXPECT_GT(be.tieringStats().fastFraction(), 0.4);
+}
+
+TEST(Tiering, MigrationPromotesHotSlowPages)
+{
+    melody::Platform lp("EMR2S", "Local");
+    melody::Platform sp("EMR2S", "CXL-B");
+    mem::TieringBackend::Config cfg;
+    cfg.policy = mem::TieringPolicy::kStallCost;
+    cfg.pageBytes = 1 << 20;
+    cfg.fastCapacityBytes = 2ULL << 20;
+    cfg.epoch = 20 * kTicksPerUs;
+    mem::TieringBackend be("t", lp.makeBackend(2),
+                           sp.makeBackend(2), cfg);
+
+    Tick now = 0;
+    Rng rng(7);
+    // Pages 0-1 claimed first (cold afterwards); page 5 is hot.
+    be.access(0, mem::ReqType::kDemandLoad, now);
+    be.access(1 << 20, mem::ReqType::kDemandLoad, now);
+    for (int i = 0; i < 4000; ++i) {
+        const Addr a = (5ULL << 20) +
+                       rng.below((1 << 20) / 64) * 64;
+        const Tick done =
+            be.access(a, mem::ReqType::kDemandLoad, now);
+        now = done + nsToTicks(50);
+    }
+    EXPECT_GT(be.tieringStats().promotions, 0u);
+    EXPECT_GT(be.tieringStats().demotions, 0u);
+    // Page 5 should now be fast.
+    const Tick t0 = now;
+    const Tick done =
+        be.access(5ULL << 20, mem::ReqType::kDemandLoad, t0);
+    EXPECT_LT(ticksToNs(done - t0), 220.0);
+}
+
+TEST(Tiering, StaticNeverMigrates)
+{
+    melody::Platform lp("EMR2S", "Local");
+    melody::Platform sp("EMR2S", "CXL-B");
+    mem::TieringBackend::Config cfg;
+    cfg.policy = mem::TieringPolicy::kStatic;
+    cfg.epoch = 5 * kTicksPerUs;
+    mem::TieringBackend be("t", lp.makeBackend(3),
+                           sp.makeBackend(3), cfg);
+    Tick now = 0;
+    Rng rng(9);
+    for (int i = 0; i < 5000; ++i) {
+        const Tick done = be.access(
+            rng.below(1 << 20) * 64, mem::ReqType::kDemandLoad,
+            now);
+        now = done + nsToTicks(20);
+    }
+    EXPECT_GT(be.tieringStats().epochs, 3u);
+    EXPECT_EQ(be.tieringStats().promotions, 0u);
+    EXPECT_EQ(be.tieringStats().demotions, 0u);
+}

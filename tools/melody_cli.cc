@@ -1,0 +1,258 @@
+/**
+ * @file
+ * melody — command-line front end for the Melody/Spa framework.
+ *
+ *   melody list [family]                workloads in the suite
+ *   melody families                     family names
+ *   melody characterize <srv> <mem>     idle/tail latency + peak BW
+ *   melody slowdown <wl> <srv> <mem>    slowdown + Spa breakdown
+ *   melody sweep <wl>                   one workload across setups
+ *   melody period <wl> <mem> [N]        period-based breakdown
+ *   melody advise <wl> <mem>            §5.7 tiering advice
+ *   melody batch <srv> <mem> [stride]   whole-suite slowdowns, CSV
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/mio.hh"
+#include "core/mlc.hh"
+#include "core/platform.hh"
+#include "core/slowdown.hh"
+#include "spa/advisor.hh"
+#include "spa/breakdown.hh"
+#include "spa/period.hh"
+#include "stats/table.hh"
+#include "workloads/suite.hh"
+
+using namespace cxlsim;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage:\n"
+        "  melody list [family]\n"
+        "  melody families\n"
+        "  melody characterize <server> <memory>\n"
+        "  melody slowdown <workload> <server> <memory>\n"
+        "  melody sweep <workload>\n"
+        "  melody period <workload> <memory> [periods]\n"
+        "  melody advise <workload> <memory>\n"
+        "  melody batch <server> <memory> [stride]\n"
+        "servers: SPR2S EMR2S EMR2S' SKX2S SKX8S\n"
+        "memory:  Local NUMA NUMA-140ns NUMA-190ns NUMA-410ns "
+        "CXL-A..D CXL-X+NUMA CXL-X+Switch[2] CXL-Dx2\n");
+    return 2;
+}
+
+int
+cmdList(const std::string &family)
+{
+    for (const auto &w : workloads::suite()) {
+        if (!family.empty() && w.family != family)
+            continue;
+        std::printf("%-24s %-9s threads=%-2u ws=%lluMB\n",
+                    w.name.c_str(), w.family.c_str(), w.threads,
+                    static_cast<unsigned long long>(
+                        w.workingSetBytes >> 20));
+    }
+    return 0;
+}
+
+int
+cmdFamilies()
+{
+    for (const auto &f : workloads::familyNames()) {
+        std::size_t n = workloads::familyWorkloads(f).size();
+        std::printf("%-10s %zu workloads\n", f.c_str(), n);
+    }
+    return 0;
+}
+
+int
+cmdCharacterize(const std::string &srv, const std::string &mem)
+{
+    melody::Platform plat(srv, mem);
+    auto idleBe = plat.makeBackend(1);
+    const auto mio = melody::mioChaseDirect(idleBe.get(), 2, 20000);
+
+    melody::MlcConfig cfg;
+    cfg.delayCycles = 0;
+    cfg.windowUs = 250;
+    cfg.warmupUs = 60;
+    cfg.readFrac = 1.0;
+    auto rdBe = plat.makeBackend(2);
+    const double readBw = melody::mlcMeasure(rdBe.get(), cfg).gbps;
+    cfg.readFrac = 0.67;
+    auto mxBe = plat.makeBackend(2);
+    const double mixBw = melody::mlcMeasure(mxBe.get(), cfg).gbps;
+
+    std::printf("%s on %s\n", mem.c_str(), srv.c_str());
+    std::printf("  idle latency   %7.0f ns\n", mio.latencyNs.mean());
+    std::printf("  p50 / p99 / p99.9 / p99.99:"
+                " %0.0f / %0.0f / %0.0f / %0.0f ns\n",
+                mio.latencyNs.percentile(0.5),
+                mio.latencyNs.percentile(0.99),
+                mio.latencyNs.percentile(0.999),
+                mio.latencyNs.percentile(0.9999));
+    std::printf("  read-only BW   %7.1f GB/s\n", readBw);
+    std::printf("  mixed (2:1) BW %7.1f GB/s\n", mixBw);
+    return 0;
+}
+
+int
+cmdSlowdown(const std::string &wl, const std::string &srv,
+            const std::string &mem)
+{
+    const auto &w = workloads::byName(wl);
+    melody::Platform lp(srv, "Local");
+    melody::Platform tp(srv, mem);
+    const auto base = melody::runWorkload(w, lp, 1);
+    const auto test = melody::runWorkload(w, tp, 1);
+    const auto b = spa::computeBreakdown(base, test);
+
+    std::printf("%s on %s:%s\n", wl.c_str(), srv.c_str(),
+                mem.c_str());
+    std::printf("  slowdown        %7.1f %%\n", b.actual);
+    std::printf("  IPC             %7.2f -> %.2f\n",
+                base.counters.instructions / base.counters.cycles,
+                test.counters.instructions / test.counters.cycles);
+    std::printf("  backend BW      %7.1f -> %.1f GB/s\n",
+                base.backendGBps(), test.backendGBps());
+    std::printf("  Spa breakdown: DRAM %.1f  L3 %.1f  L2 %.1f  "
+                "L1 %.1f  Store %.1f  Core %.1f  Other %.1f\n",
+                b.dram, b.l3, b.l2, b.l1, b.store, b.core, b.other);
+    std::printf("  estimators: ds %.1f  dsBackend %.1f  "
+                "dsMemory %.1f (actual %.1f)\n",
+                b.estTotalStalls, b.estBackend, b.estMemory,
+                b.actual);
+    return 0;
+}
+
+int
+cmdSweep(const std::string &wl)
+{
+    const auto &w = workloads::byName(wl);
+    melody::SlowdownStudy study(1);
+    stats::Table t({"Setup", "Slowdown(%)"});
+    struct
+    {
+        const char *srv;
+        const char *mem;
+    } setups[] = {{"SKX2S", "NUMA-140ns"}, {"SKX2S", "NUMA-190ns"},
+                  {"EMR2S", "NUMA"},        {"EMR2S'", "CXL-D"},
+                  {"EMR2S", "CXL-A"},       {"EMR2S", "CXL-B"},
+                  {"EMR2S", "CXL-C"},       {"EMR2S", "CXL-A+NUMA"},
+                  {"SKX8S", "NUMA-410ns"}};
+    for (const auto &s : setups)
+        t.addRow({std::string(s.srv) + ":" + s.mem,
+                  stats::Table::num(
+                      study.slowdown(w, s.srv, s.mem), 1)});
+    t.print();
+    return 0;
+}
+
+int
+cmdPeriod(const std::string &wl, const std::string &mem,
+          unsigned periods)
+{
+    auto w = workloads::byName(wl);
+    melody::Platform lp("EMR2S", "Local");
+    melody::Platform tp("EMR2S", mem);
+    const auto base =
+        melody::runWorkload(w, lp, 1, true, usToTicks(15));
+    const auto test =
+        melody::runWorkload(w, tp, 1, true, usToTicks(15));
+    const auto ps = spa::periodAnalysis(
+        base.samples, test.samples,
+        base.counters.instructions / periods);
+    std::printf("%-4s %8s | %6s %5s %5s %5s %6s\n", "per", "S(%)",
+                "DRAM", "L3", "L2", "L1", "Store");
+    for (const auto &p : ps)
+        std::printf("%-4llu %8.1f | %6.1f %5.1f %5.1f %5.1f %6.1f\n",
+                    static_cast<unsigned long long>(p.periodIndex),
+                    p.breakdown.actual, p.breakdown.dram,
+                    p.breakdown.l3, p.breakdown.l2, p.breakdown.l1,
+                    p.breakdown.store);
+    return 0;
+}
+
+int
+cmdBatch(const std::string &srv, const std::string &mem,
+         unsigned stride)
+{
+    melody::SlowdownStudy study(1);
+    std::vector<workloads::WorkloadProfile> ws;
+    const auto &all = workloads::suite();
+    for (std::size_t i = 0; i < all.size(); i += stride) {
+        ws.push_back(all[i]);
+        ws.back().blocksPerCore =
+            std::min<std::uint64_t>(ws.back().blocksPerCore, 40000);
+    }
+    const auto s = study.slowdownBatch(ws, srv, mem);
+    std::printf("workload,family,threads,slowdown_pct\n");
+    for (std::size_t i = 0; i < ws.size(); ++i)
+        std::printf("%s,%s,%u,%.2f\n", ws[i].name.c_str(),
+                    ws[i].family.c_str(), ws[i].threads, s[i]);
+    return 0;
+}
+
+int
+cmdAdvise(const std::string &wl, const std::string &mem)
+{
+    auto w = workloads::byName(wl);
+    melody::Platform lp("EMR2S", "Local");
+    melody::Platform tp("EMR2S", mem);
+    const auto base =
+        melody::runWorkload(w, lp, 1, true, usToTicks(15));
+    const auto test =
+        melody::runWorkload(w, tp, 1, true, usToTicks(15));
+    const auto ps = spa::periodAnalysis(
+        base.samples, test.samples,
+        base.counters.instructions / 16.0);
+    const double frac = spa::suggestPinnedFraction(ps, 10.0);
+    if (frac == 0.0) {
+        std::printf("no bursty periods: leave the workload on %s\n",
+                    mem.c_str());
+        return 0;
+    }
+    const auto r = spa::tunePlacement(w, "EMR2S", mem, frac, 1);
+    std::printf("pin %.0f%% of the working set locally: slowdown "
+                "%.1f%% -> %.1f%%\n",
+                100 * frac, r.slowdownAllCxl, r.slowdownPinned);
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "list")
+        return cmdList(argc > 2 ? argv[2] : "");
+    if (cmd == "families")
+        return cmdFamilies();
+    if (cmd == "characterize" && argc == 4)
+        return cmdCharacterize(argv[2], argv[3]);
+    if (cmd == "slowdown" && argc == 5)
+        return cmdSlowdown(argv[2], argv[3], argv[4]);
+    if (cmd == "sweep" && argc == 3)
+        return cmdSweep(argv[2]);
+    if (cmd == "period" && argc >= 4)
+        return cmdPeriod(argv[2], argv[3],
+                         argc > 4 ? std::stoul(argv[4]) : 16);
+    if (cmd == "advise" && argc == 4)
+        return cmdAdvise(argv[2], argv[3]);
+    if (cmd == "batch" && argc >= 4)
+        return cmdBatch(argv[2], argv[3],
+                        argc > 4 ? std::stoul(argv[4]) : 1);
+    return usage();
+}
