@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_emulation.dir/ablation_emulation.cc.o"
+  "CMakeFiles/ablation_emulation.dir/ablation_emulation.cc.o.d"
+  "ablation_emulation"
+  "ablation_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

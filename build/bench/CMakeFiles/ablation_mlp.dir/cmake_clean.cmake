@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mlp.dir/ablation_mlp.cc.o"
+  "CMakeFiles/ablation_mlp.dir/ablation_mlp.cc.o.d"
+  "ablation_mlp"
+  "ablation_mlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tails.dir/ablation_tails.cc.o"
+  "CMakeFiles/ablation_tails.dir/ablation_tails.cc.o.d"
+  "ablation_tails"
+  "ablation_tails.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tails.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_spectrum.dir/fig01_spectrum.cc.o"
+  "CMakeFiles/fig01_spectrum.dir/fig01_spectrum.cc.o.d"
+  "fig01_spectrum"
+  "fig01_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

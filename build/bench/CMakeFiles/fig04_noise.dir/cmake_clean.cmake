@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_noise.dir/fig04_noise.cc.o"
+  "CMakeFiles/fig04_noise.dir/fig04_noise.cc.o.d"
+  "fig04_noise"
+  "fig04_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

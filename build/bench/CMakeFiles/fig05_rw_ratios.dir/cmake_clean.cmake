@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_rw_ratios.dir/fig05_rw_ratios.cc.o"
+  "CMakeFiles/fig05_rw_ratios.dir/fig05_rw_ratios.cc.o.d"
+  "fig05_rw_ratios"
+  "fig05_rw_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_rw_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

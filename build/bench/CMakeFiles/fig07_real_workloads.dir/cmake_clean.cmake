@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_real_workloads.dir/fig07_real_workloads.cc.o"
+  "CMakeFiles/fig07_real_workloads.dir/fig07_real_workloads.cc.o.d"
+  "fig07_real_workloads"
+  "fig07_real_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_real_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

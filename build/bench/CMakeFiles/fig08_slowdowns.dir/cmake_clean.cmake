@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_slowdowns.dir/fig08_slowdowns.cc.o"
+  "CMakeFiles/fig08_slowdowns.dir/fig08_slowdowns.cc.o.d"
+  "fig08_slowdowns"
+  "fig08_slowdowns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_slowdowns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_latency_spectrum.dir/fig09_latency_spectrum.cc.o"
+  "CMakeFiles/fig09_latency_spectrum.dir/fig09_latency_spectrum.cc.o.d"
+  "fig09_latency_spectrum"
+  "fig09_latency_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_latency_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_prefetch_coverage.dir/fig12_prefetch_coverage.cc.o"
+  "CMakeFiles/fig12_prefetch_coverage.dir/fig12_prefetch_coverage.cc.o.d"
+  "fig12_prefetch_coverage"
+  "fig12_prefetch_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_prefetch_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

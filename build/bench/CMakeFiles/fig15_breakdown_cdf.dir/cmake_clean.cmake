@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_breakdown_cdf.dir/fig15_breakdown_cdf.cc.o"
+  "CMakeFiles/fig15_breakdown_cdf.dir/fig15_breakdown_cdf.cc.o.d"
+  "fig15_breakdown_cdf"
+  "fig15_breakdown_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_breakdown_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_period_analysis.dir/fig16_period_analysis.cc.o"
+  "CMakeFiles/fig16_period_analysis.dir/fig16_period_analysis.cc.o.d"
+  "fig16_period_analysis"
+  "fig16_period_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_period_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

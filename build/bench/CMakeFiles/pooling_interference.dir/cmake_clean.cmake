@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pooling_interference.dir/pooling_interference.cc.o"
+  "CMakeFiles/pooling_interference.dir/pooling_interference.cc.o.d"
+  "pooling_interference"
+  "pooling_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pooling_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prediction_accuracy.dir/prediction_accuracy.cc.o"
+  "CMakeFiles/prediction_accuracy.dir/prediction_accuracy.cc.o.d"
+  "prediction_accuracy"
+  "prediction_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prediction_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

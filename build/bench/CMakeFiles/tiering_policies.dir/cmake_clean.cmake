@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiering_policies.dir/tiering_policies.cc.o"
+  "CMakeFiles/tiering_policies.dir/tiering_policies.cc.o.d"
+  "tiering_policies"
+  "tiering_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiering_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usecase_tuning.dir/usecase_tuning.cc.o"
+  "CMakeFiles/usecase_tuning.dir/usecase_tuning.cc.o.d"
+  "usecase_tuning"
+  "usecase_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usecase_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

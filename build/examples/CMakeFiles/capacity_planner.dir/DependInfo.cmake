@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/capacity_planner.cpp" "examples/CMakeFiles/capacity_planner.dir/capacity_planner.cpp.o" "gcc" "examples/CMakeFiles/capacity_planner.dir/capacity_planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/melody_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/spa/CMakeFiles/cxlsim_spa.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cxlsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cxlsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/cxlsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cxlsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cxl/CMakeFiles/cxlsim_cxl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/cxlsim_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/cxlsim_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cxlsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

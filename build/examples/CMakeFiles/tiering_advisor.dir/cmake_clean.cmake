@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiering_advisor.dir/tiering_advisor.cpp.o"
+  "CMakeFiles/tiering_advisor.dir/tiering_advisor.cpp.o.d"
+  "tiering_advisor"
+  "tiering_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiering_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/melody_core.dir/mio.cc.o"
+  "CMakeFiles/melody_core.dir/mio.cc.o.d"
+  "CMakeFiles/melody_core.dir/mlc.cc.o"
+  "CMakeFiles/melody_core.dir/mlc.cc.o.d"
+  "CMakeFiles/melody_core.dir/platform.cc.o"
+  "CMakeFiles/melody_core.dir/platform.cc.o.d"
+  "CMakeFiles/melody_core.dir/slowdown.cc.o"
+  "CMakeFiles/melody_core.dir/slowdown.cc.o.d"
+  "libmelody_core.a"
+  "libmelody_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/melody_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

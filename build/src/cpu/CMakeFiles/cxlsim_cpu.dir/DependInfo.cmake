@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/cache.cc" "src/cpu/CMakeFiles/cxlsim_cpu.dir/cache.cc.o" "gcc" "src/cpu/CMakeFiles/cxlsim_cpu.dir/cache.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/cpu/CMakeFiles/cxlsim_cpu.dir/core.cc.o" "gcc" "src/cpu/CMakeFiles/cxlsim_cpu.dir/core.cc.o.d"
+  "/root/repo/src/cpu/counters.cc" "src/cpu/CMakeFiles/cxlsim_cpu.dir/counters.cc.o" "gcc" "src/cpu/CMakeFiles/cxlsim_cpu.dir/counters.cc.o.d"
+  "/root/repo/src/cpu/hierarchy.cc" "src/cpu/CMakeFiles/cxlsim_cpu.dir/hierarchy.cc.o" "gcc" "src/cpu/CMakeFiles/cxlsim_cpu.dir/hierarchy.cc.o.d"
+  "/root/repo/src/cpu/multicore.cc" "src/cpu/CMakeFiles/cxlsim_cpu.dir/multicore.cc.o" "gcc" "src/cpu/CMakeFiles/cxlsim_cpu.dir/multicore.cc.o.d"
+  "/root/repo/src/cpu/prefetcher.cc" "src/cpu/CMakeFiles/cxlsim_cpu.dir/prefetcher.cc.o" "gcc" "src/cpu/CMakeFiles/cxlsim_cpu.dir/prefetcher.cc.o.d"
+  "/root/repo/src/cpu/profile.cc" "src/cpu/CMakeFiles/cxlsim_cpu.dir/profile.cc.o" "gcc" "src/cpu/CMakeFiles/cxlsim_cpu.dir/profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cxlsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cxlsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cxl/CMakeFiles/cxlsim_cxl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/cxlsim_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/cxlsim_link.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

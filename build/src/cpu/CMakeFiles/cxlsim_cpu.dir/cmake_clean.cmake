@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlsim_cpu.dir/cache.cc.o"
+  "CMakeFiles/cxlsim_cpu.dir/cache.cc.o.d"
+  "CMakeFiles/cxlsim_cpu.dir/core.cc.o"
+  "CMakeFiles/cxlsim_cpu.dir/core.cc.o.d"
+  "CMakeFiles/cxlsim_cpu.dir/counters.cc.o"
+  "CMakeFiles/cxlsim_cpu.dir/counters.cc.o.d"
+  "CMakeFiles/cxlsim_cpu.dir/hierarchy.cc.o"
+  "CMakeFiles/cxlsim_cpu.dir/hierarchy.cc.o.d"
+  "CMakeFiles/cxlsim_cpu.dir/multicore.cc.o"
+  "CMakeFiles/cxlsim_cpu.dir/multicore.cc.o.d"
+  "CMakeFiles/cxlsim_cpu.dir/prefetcher.cc.o"
+  "CMakeFiles/cxlsim_cpu.dir/prefetcher.cc.o.d"
+  "CMakeFiles/cxlsim_cpu.dir/profile.cc.o"
+  "CMakeFiles/cxlsim_cpu.dir/profile.cc.o.d"
+  "libcxlsim_cpu.a"
+  "libcxlsim_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlsim_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

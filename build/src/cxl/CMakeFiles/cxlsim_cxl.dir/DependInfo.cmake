@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cxl/controller.cc" "src/cxl/CMakeFiles/cxlsim_cxl.dir/controller.cc.o" "gcc" "src/cxl/CMakeFiles/cxlsim_cxl.dir/controller.cc.o.d"
+  "/root/repo/src/cxl/device.cc" "src/cxl/CMakeFiles/cxlsim_cxl.dir/device.cc.o" "gcc" "src/cxl/CMakeFiles/cxlsim_cxl.dir/device.cc.o.d"
+  "/root/repo/src/cxl/device_profile.cc" "src/cxl/CMakeFiles/cxlsim_cxl.dir/device_profile.cc.o" "gcc" "src/cxl/CMakeFiles/cxlsim_cxl.dir/device_profile.cc.o.d"
+  "/root/repo/src/cxl/pool.cc" "src/cxl/CMakeFiles/cxlsim_cxl.dir/pool.cc.o" "gcc" "src/cxl/CMakeFiles/cxlsim_cxl.dir/pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cxlsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/cxlsim_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/cxlsim_link.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlsim_cxl.dir/controller.cc.o"
+  "CMakeFiles/cxlsim_cxl.dir/controller.cc.o.d"
+  "CMakeFiles/cxlsim_cxl.dir/device.cc.o"
+  "CMakeFiles/cxlsim_cxl.dir/device.cc.o.d"
+  "CMakeFiles/cxlsim_cxl.dir/device_profile.cc.o"
+  "CMakeFiles/cxlsim_cxl.dir/device_profile.cc.o.d"
+  "CMakeFiles/cxlsim_cxl.dir/pool.cc.o"
+  "CMakeFiles/cxlsim_cxl.dir/pool.cc.o.d"
+  "libcxlsim_cxl.a"
+  "libcxlsim_cxl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlsim_cxl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlsim_dram.dir/bank.cc.o"
+  "CMakeFiles/cxlsim_dram.dir/bank.cc.o.d"
+  "CMakeFiles/cxlsim_dram.dir/channel.cc.o"
+  "CMakeFiles/cxlsim_dram.dir/channel.cc.o.d"
+  "CMakeFiles/cxlsim_dram.dir/timing.cc.o"
+  "CMakeFiles/cxlsim_dram.dir/timing.cc.o.d"
+  "libcxlsim_dram.a"
+  "libcxlsim_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlsim_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

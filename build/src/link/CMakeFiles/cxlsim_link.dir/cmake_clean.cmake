@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlsim_link.dir/link.cc.o"
+  "CMakeFiles/cxlsim_link.dir/link.cc.o.d"
+  "libcxlsim_link.a"
+  "libcxlsim_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlsim_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

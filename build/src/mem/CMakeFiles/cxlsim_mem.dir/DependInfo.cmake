@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cxl_backend.cc" "src/mem/CMakeFiles/cxlsim_mem.dir/cxl_backend.cc.o" "gcc" "src/mem/CMakeFiles/cxlsim_mem.dir/cxl_backend.cc.o.d"
+  "/root/repo/src/mem/interleaved_backend.cc" "src/mem/CMakeFiles/cxlsim_mem.dir/interleaved_backend.cc.o" "gcc" "src/mem/CMakeFiles/cxlsim_mem.dir/interleaved_backend.cc.o.d"
+  "/root/repo/src/mem/local_backend.cc" "src/mem/CMakeFiles/cxlsim_mem.dir/local_backend.cc.o" "gcc" "src/mem/CMakeFiles/cxlsim_mem.dir/local_backend.cc.o.d"
+  "/root/repo/src/mem/numa_backend.cc" "src/mem/CMakeFiles/cxlsim_mem.dir/numa_backend.cc.o" "gcc" "src/mem/CMakeFiles/cxlsim_mem.dir/numa_backend.cc.o.d"
+  "/root/repo/src/mem/region_router.cc" "src/mem/CMakeFiles/cxlsim_mem.dir/region_router.cc.o" "gcc" "src/mem/CMakeFiles/cxlsim_mem.dir/region_router.cc.o.d"
+  "/root/repo/src/mem/tiering_backend.cc" "src/mem/CMakeFiles/cxlsim_mem.dir/tiering_backend.cc.o" "gcc" "src/mem/CMakeFiles/cxlsim_mem.dir/tiering_backend.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cxlsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/cxlsim_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/cxlsim_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/cxl/CMakeFiles/cxlsim_cxl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

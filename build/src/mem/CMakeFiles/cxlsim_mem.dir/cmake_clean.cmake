@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlsim_mem.dir/cxl_backend.cc.o"
+  "CMakeFiles/cxlsim_mem.dir/cxl_backend.cc.o.d"
+  "CMakeFiles/cxlsim_mem.dir/interleaved_backend.cc.o"
+  "CMakeFiles/cxlsim_mem.dir/interleaved_backend.cc.o.d"
+  "CMakeFiles/cxlsim_mem.dir/local_backend.cc.o"
+  "CMakeFiles/cxlsim_mem.dir/local_backend.cc.o.d"
+  "CMakeFiles/cxlsim_mem.dir/numa_backend.cc.o"
+  "CMakeFiles/cxlsim_mem.dir/numa_backend.cc.o.d"
+  "CMakeFiles/cxlsim_mem.dir/region_router.cc.o"
+  "CMakeFiles/cxlsim_mem.dir/region_router.cc.o.d"
+  "CMakeFiles/cxlsim_mem.dir/tiering_backend.cc.o"
+  "CMakeFiles/cxlsim_mem.dir/tiering_backend.cc.o.d"
+  "libcxlsim_mem.a"
+  "libcxlsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlsim_sim.dir/event_queue.cc.o"
+  "CMakeFiles/cxlsim_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/cxlsim_sim.dir/logging.cc.o"
+  "CMakeFiles/cxlsim_sim.dir/logging.cc.o.d"
+  "CMakeFiles/cxlsim_sim.dir/rng.cc.o"
+  "CMakeFiles/cxlsim_sim.dir/rng.cc.o.d"
+  "libcxlsim_sim.a"
+  "libcxlsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

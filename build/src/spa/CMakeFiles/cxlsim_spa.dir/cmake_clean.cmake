@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlsim_spa.dir/advisor.cc.o"
+  "CMakeFiles/cxlsim_spa.dir/advisor.cc.o.d"
+  "CMakeFiles/cxlsim_spa.dir/breakdown.cc.o"
+  "CMakeFiles/cxlsim_spa.dir/breakdown.cc.o.d"
+  "CMakeFiles/cxlsim_spa.dir/period.cc.o"
+  "CMakeFiles/cxlsim_spa.dir/period.cc.o.d"
+  "CMakeFiles/cxlsim_spa.dir/predictor.cc.o"
+  "CMakeFiles/cxlsim_spa.dir/predictor.cc.o.d"
+  "CMakeFiles/cxlsim_spa.dir/prefetch_analysis.cc.o"
+  "CMakeFiles/cxlsim_spa.dir/prefetch_analysis.cc.o.d"
+  "libcxlsim_spa.a"
+  "libcxlsim_spa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlsim_spa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

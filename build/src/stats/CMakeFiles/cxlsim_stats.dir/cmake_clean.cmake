@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlsim_stats.dir/histogram.cc.o"
+  "CMakeFiles/cxlsim_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/cxlsim_stats.dir/streaming.cc.o"
+  "CMakeFiles/cxlsim_stats.dir/streaming.cc.o.d"
+  "CMakeFiles/cxlsim_stats.dir/summary.cc.o"
+  "CMakeFiles/cxlsim_stats.dir/summary.cc.o.d"
+  "CMakeFiles/cxlsim_stats.dir/table.cc.o"
+  "CMakeFiles/cxlsim_stats.dir/table.cc.o.d"
+  "CMakeFiles/cxlsim_stats.dir/timeseries.cc.o"
+  "CMakeFiles/cxlsim_stats.dir/timeseries.cc.o.d"
+  "libcxlsim_stats.a"
+  "libcxlsim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlsim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcxlsim_stats.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/suite.cc" "src/workloads/CMakeFiles/cxlsim_workloads.dir/suite.cc.o" "gcc" "src/workloads/CMakeFiles/cxlsim_workloads.dir/suite.cc.o.d"
+  "/root/repo/src/workloads/synthetic_kernel.cc" "src/workloads/CMakeFiles/cxlsim_workloads.dir/synthetic_kernel.cc.o" "gcc" "src/workloads/CMakeFiles/cxlsim_workloads.dir/synthetic_kernel.cc.o.d"
+  "/root/repo/src/workloads/trace_kernel.cc" "src/workloads/CMakeFiles/cxlsim_workloads.dir/trace_kernel.cc.o" "gcc" "src/workloads/CMakeFiles/cxlsim_workloads.dir/trace_kernel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/cxlsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cxlsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cxl/CMakeFiles/cxlsim_cxl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/cxlsim_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/cxlsim_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cxlsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlsim_workloads.dir/suite.cc.o"
+  "CMakeFiles/cxlsim_workloads.dir/suite.cc.o.d"
+  "CMakeFiles/cxlsim_workloads.dir/synthetic_kernel.cc.o"
+  "CMakeFiles/cxlsim_workloads.dir/synthetic_kernel.cc.o.d"
+  "CMakeFiles/cxlsim_workloads.dir/trace_kernel.cc.o"
+  "CMakeFiles/cxlsim_workloads.dir/trace_kernel.cc.o.d"
+  "libcxlsim_workloads.a"
+  "libcxlsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlsim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

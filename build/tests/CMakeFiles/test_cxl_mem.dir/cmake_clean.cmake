@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cxl_mem.dir/test_cxl_mem.cc.o"
+  "CMakeFiles/test_cxl_mem.dir/test_cxl_mem.cc.o.d"
+  "test_cxl_mem"
+  "test_cxl_mem.pdb"
+  "test_cxl_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cxl_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dram_link.dir/test_dram_link.cc.o"
+  "CMakeFiles/test_dram_link.dir/test_dram_link.cc.o.d"
+  "test_dram_link"
+  "test_dram_link.pdb"
+  "test_dram_link[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dram_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

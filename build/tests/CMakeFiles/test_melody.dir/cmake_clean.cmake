@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_melody.dir/test_melody.cc.o"
+  "CMakeFiles/test_melody.dir/test_melody.cc.o.d"
+  "test_melody"
+  "test_melody.pdb"
+  "test_melody[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_melody.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/melody.dir/melody_cli.cc.o"
+  "CMakeFiles/melody.dir/melody_cli.cc.o.d"
+  "melody"
+  "melody.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/melody.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
