@@ -101,6 +101,14 @@ BM_WorkloadSimulation(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations() *
                             w.instructionsPerCore());
+    // Headline throughput metric for the regression harness
+    // (scripts/run_bench.py): simulated instructions per wall
+    // second of host time.
+    state.counters["sim_instructions_per_second"] =
+        benchmark::Counter(static_cast<double>(state.iterations()) *
+                               static_cast<double>(
+                                   w.instructionsPerCore()),
+                           benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_WorkloadSimulation);
 

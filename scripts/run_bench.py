@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Benchmark-regression harness for the simulator microbenchmarks.
+
+Runs ``perf_microbench --benchmark_format=json``, writes a dated
+``BENCH_<YYYY-MM-DD>.json`` baseline at the repo root, and compares
+it against the previous baseline with a configurable tolerance.
+
+Usage:
+    # Record today's baseline (and report vs. the previous one):
+    python3 scripts/run_bench.py
+
+    # Pre-merge perf gate: nonzero exit if any benchmark's
+    # throughput regressed more than --tolerance vs. the latest
+    # committed baseline.
+    python3 scripts/run_bench.py --check
+
+    # Compare two existing result files without running anything:
+    python3 scripts/run_bench.py --compare OLD.json NEW.json
+
+Throughput is taken from ``items_per_second`` when the benchmark
+reports it (all of ours do), else from 1/real_time. A regression is
+``new < old * (1 - tolerance)``; improvements are reported but never
+fail the gate.
+"""
+
+import argparse
+import datetime
+import glob
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BENCH = os.path.join(REPO_ROOT, "build", "bench",
+                             "perf_microbench")
+
+
+def throughput(entry):
+    """Items/sec for one google-benchmark JSON entry."""
+    if "items_per_second" in entry:
+        return float(entry["items_per_second"])
+    rt = float(entry["real_time"])
+    return 1e9 / rt if rt > 0 else 0.0
+
+
+def load_results(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        out[b["name"]] = b
+    return out
+
+
+def run_bench(bench, min_time, extra_args):
+    cmd = [bench, "--benchmark_format=json"]
+    if min_time is not None:
+        cmd.append(f"--benchmark_min_time={min_time}")
+    cmd += extra_args
+    print(f"running: {' '.join(cmd)}", file=sys.stderr)
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE, check=True)
+    return json.loads(proc.stdout)
+
+
+def previous_baseline(out_dir, exclude):
+    paths = sorted(glob.glob(os.path.join(out_dir, "BENCH_*.json")))
+    paths = [p for p in paths if os.path.abspath(p) != exclude]
+    return paths[-1] if paths else None
+
+
+def compare(old_path, new_path, tolerance):
+    """Print a comparison table; return list of regressed names."""
+    old = load_results(old_path)
+    new = load_results(new_path)
+    regressions = []
+    print(f"baseline: {old_path}")
+    print(f"current:  {new_path}")
+    print(f"tolerance: {tolerance:.0%}\n")
+    print(f"{'benchmark':<28} {'old it/s':>14} {'new it/s':>14} "
+          f"{'ratio':>7}  verdict")
+    for name, entry in new.items():
+        cur = throughput(entry)
+        if name not in old:
+            print(f"{name:<28} {'-':>14} {cur:>14.3e} {'-':>7}  new")
+            continue
+        base = throughput(old[name])
+        ratio = cur / base if base > 0 else float("inf")
+        if cur < base * (1.0 - tolerance):
+            verdict = "REGRESSED"
+            regressions.append(name)
+        elif ratio > 1.0 + tolerance:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        print(f"{name:<28} {base:>14.3e} {cur:>14.3e} "
+              f"{ratio:>6.2f}x  {verdict}")
+    for name in old:
+        if name not in new:
+            print(f"{name:<28} missing from current run: REGRESSED")
+            regressions.append(name)
+    return regressions
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--bench", default=DEFAULT_BENCH,
+                    help="perf_microbench binary "
+                         f"(default: {DEFAULT_BENCH})")
+    ap.add_argument("--out-dir", default=REPO_ROOT,
+                    help="where BENCH_<date>.json is written")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed fractional slowdown "
+                         "(default 0.15)")
+    ap.add_argument("--check", action="store_true",
+                    help="exit nonzero if any benchmark regressed "
+                         "vs. the latest baseline")
+    ap.add_argument("--baseline",
+                    help="explicit baseline JSON to compare "
+                         "against (default: latest BENCH_*.json)")
+    ap.add_argument("--compare", nargs=2,
+                    metavar=("OLD", "NEW"),
+                    help="compare two existing JSON files; "
+                         "runs nothing")
+    ap.add_argument("--min-time", default=None,
+                    help="forwarded as --benchmark_min_time")
+    ap.add_argument("bench_args", nargs="*",
+                    help="extra args forwarded to the benchmark")
+    args = ap.parse_args()
+
+    if args.compare:
+        for p in args.compare:
+            if not os.path.exists(p):
+                print(f"no such file: {p}", file=sys.stderr)
+                return 2
+        regressions = compare(args.compare[0], args.compare[1],
+                              args.tolerance)
+        if regressions:
+            print(f"\n{len(regressions)} regression(s): "
+                  f"{', '.join(regressions)}")
+            return 1
+        print("\nno regressions")
+        return 0
+
+    if not os.path.exists(args.bench):
+        print(f"benchmark binary not found: {args.bench}\n"
+              "build it first: cmake --build build "
+              "--target perf_microbench", file=sys.stderr)
+        return 2
+
+    data = run_bench(args.bench, args.min_time, args.bench_args)
+    date = datetime.date.today().isoformat()
+    out_path = os.path.abspath(
+        os.path.join(args.out_dir, f"BENCH_{date}.json"))
+    with open(out_path, "w") as f:
+        json.dump(data, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {out_path}", file=sys.stderr)
+
+    baseline = args.baseline or previous_baseline(
+        args.out_dir, exclude=out_path)
+    if baseline is None:
+        print("no previous baseline found; recorded only.")
+        return 0
+
+    regressions = compare(baseline, out_path, args.tolerance)
+    if regressions:
+        print(f"\n{len(regressions)} regression(s): "
+              f"{', '.join(regressions)}")
+        return 1 if args.check else 0
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,41 +8,48 @@ Cache::Cache(std::uint64_t size_bytes, unsigned ways)
     : sets_(size_bytes / (kCacheLineBytes * ways)), ways_(ways)
 {
     SIM_ASSERT(sets_ >= 1, "cache too small");
-    lines_.resize(sets_ * ways_);
+    SIM_ASSERT(ways_ >= 1 && ways_ <= 255, "ways out of range");
+    const std::size_t n = sets_ * ways_;
+    // calloc: lazily-zeroed pages make constructing a 100s-of-MB
+    // LLC O(1) instead of an eager multi-ms memset per run.
+    tags_.reset(static_cast<Addr *>(std::calloc(n, sizeof(Addr))));
+    meta_.reset(static_cast<Meta *>(std::malloc(n * sizeof(Meta))));
+    mru_.reset(static_cast<std::uint8_t *>(std::calloc(sets_, 1)));
+    SIM_ASSERT(tags_ && meta_ && mru_, "cache allocation failed");
 }
 
-Cache::Line *
-Cache::find(Addr line_addr)
+int
+Cache::findWay(std::size_t set, Addr line_addr) const
 {
-    const std::uint64_t set = (line_addr / kCacheLineBytes) % sets_;
-    Line *base = &lines_[set * ways_];
+    const Addr key = tagWord(line_addr);
+    const Addr *t = &tags_[set * ways_];
+    const unsigned m = mru_[set];
+    if (t[m] == key)
+        return static_cast<int>(m);
     for (unsigned w = 0; w < ways_; ++w)
-        if (base[w].valid && base[w].tag == line_addr)
-            return &base[w];
-    return nullptr;
-}
-
-const Cache::Line *
-Cache::find(Addr line_addr) const
-{
-    return const_cast<Cache *>(this)->find(line_addr);
+        if (t[w] == key)
+            return static_cast<int>(w);
+    return -1;
 }
 
 LookupResult
 Cache::lookup(Addr line_addr, Tick now, Tick *ready_at, StallTag *home)
 {
-    Line *l = find(line_addr);
-    if (!l) {
+    const std::size_t set = setIndex(line_addr);
+    const int w = findWay(set, line_addr);
+    if (w < 0) {
         ++misses_;
         return LookupResult::kMiss;
     }
-    l->lruStamp = ++stamp_;
-    if (l->readyAt > now) {
+    mru_[set] = static_cast<std::uint8_t>(w);
+    Meta &m = meta_[set * ways_ + static_cast<unsigned>(w)];
+    m.lruStamp = ++stamp_;
+    if (m.readyAt > now) {
         ++pendingHits_;
         if (ready_at)
-            *ready_at = l->readyAt;
+            *ready_at = m.readyAt;
         if (home)
-            *home = l->home;
+            *home = m.home;
         return LookupResult::kPending;
     }
     ++hits_;
@@ -52,63 +59,68 @@ Cache::lookup(Addr line_addr, Tick now, Tick *ready_at, StallTag *home)
 bool
 Cache::contains(Addr line_addr) const
 {
-    return find(line_addr) != nullptr;
+    return findWay(setIndex(line_addr), line_addr) >= 0;
 }
 
 Eviction
 Cache::insert(Addr line_addr, Tick ready_at, StallTag home, bool dirty)
 {
     Eviction ev;
-    if (Line *existing = find(line_addr)) {
+    const std::size_t set = setIndex(line_addr);
+    Addr *t = &tags_[set * ways_];
+    Meta *mb = &meta_[set * ways_];
+
+    if (const int w = findWay(set, line_addr); w >= 0) {
         // Refill of a present line: refresh fill state.
-        existing->readyAt = ready_at;
-        existing->home = home;
-        existing->dirty = existing->dirty || dirty;
-        existing->lruStamp = ++stamp_;
+        Meta &m = mb[w];
+        m.readyAt = ready_at;
+        m.home = home;
+        m.dirty = m.dirty || dirty;
+        m.lruStamp = ++stamp_;
+        mru_[set] = static_cast<std::uint8_t>(w);
         return ev;
     }
 
-    const std::uint64_t set = (line_addr / kCacheLineBytes) % sets_;
-    Line *base = &lines_[set * ways_];
-    Line *victim = nullptr;
+    int victim = -1;
     for (unsigned w = 0; w < ways_; ++w) {
-        Line &cand = base[w];
-        if (!cand.valid) {
-            victim = &cand;
+        if (t[w] == 0) {
+            victim = static_cast<int>(w);
             break;
         }
         // Plain LRU victim selection (pending fills are treated
         // like any other line: a squashed in-flight prefetch).
-        if (!victim || cand.lruStamp < victim->lruStamp)
-            victim = &cand;
+        if (victim < 0 || mb[w].lruStamp < mb[victim].lruStamp)
+            victim = static_cast<int>(w);
     }
 
-    if (victim->valid) {
+    if (t[victim] != 0) {
         ev.valid = true;
-        ev.dirty = victim->dirty;
-        ev.lineAddr = victim->tag;
+        ev.dirty = mb[victim].dirty;
+        ev.lineAddr = t[victim] & ~static_cast<Addr>(1);
     }
-    victim->valid = true;
-    victim->tag = line_addr;
-    victim->readyAt = ready_at;
-    victim->home = home;
-    victim->dirty = dirty;
-    victim->lruStamp = ++stamp_;
+    t[victim] = tagWord(line_addr);
+    mb[victim].readyAt = ready_at;
+    mb[victim].home = home;
+    mb[victim].dirty = dirty;
+    mb[victim].lruStamp = ++stamp_;
+    mru_[set] = static_cast<std::uint8_t>(victim);
     return ev;
 }
 
 void
 Cache::markDirty(Addr line_addr)
 {
-    if (Line *l = find(line_addr))
-        l->dirty = true;
+    const std::size_t set = setIndex(line_addr);
+    if (const int w = findWay(set, line_addr); w >= 0)
+        meta_[set * ways_ + static_cast<unsigned>(w)].dirty = true;
 }
 
 void
 Cache::invalidate(Addr line_addr)
 {
-    if (Line *l = find(line_addr))
-        l->valid = false;
+    const std::size_t set = setIndex(line_addr);
+    if (const int w = findWay(set, line_addr); w >= 0)
+        tags_[set * ways_ + static_cast<unsigned>(w)] = 0;
 }
 
 }  // namespace cxlsim::cpu

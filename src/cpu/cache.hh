@@ -11,13 +11,25 @@
  * paper's prefetch-timeliness findings (§5.4): a demand load that
  * catches a pending L2-streamer line stalls on "L2" (or LLC on
  * SPR/EMR) even though the data is actually in flight from CXL.
+ *
+ * Storage layout is split for the host machine's benefit: the probe
+ * path scans a compact one-word-per-way tag array (tag | valid bit
+ * packed into a single 8-byte word, so a 16-way set is two host
+ * cachelines instead of ten), with an MRU-way first probe; the cold
+ * per-line metadata (readyAt, LRU stamp, home, dirty) lives in a
+ * parallel array that is only touched after a tag match. The tag
+ * array is calloc'd so multi-hundred-MB LLCs cost no up-front
+ * zeroing — the OS hands out lazily-zeroed pages and first-touch
+ * cost is spread across the run.
  */
 
 #ifndef CXLSIM_CPU_CACHE_HH
 #define CXLSIM_CPU_CACHE_HH
 
 #include <cstdint>
-#include <vector>
+#include <cstdlib>
+#include <memory>
+#include <type_traits>
 
 #include "cpu/counters.hh"
 #include "sim/types.hh"
@@ -89,22 +101,49 @@ class Cache
     unsigned ways() const { return ways_; }
 
   private:
-    struct Line
+    /**
+     * Cold per-line state; read only after a tag match, so the
+     * backing array is deliberately left uninitialized (trivial
+     * type, written by insert() before any read).
+     */
+    struct Meta
     {
-        Addr tag = 0;
-        Tick readyAt = 0;
-        std::uint64_t lruStamp = 0;
-        StallTag home = StallTag::kDram;
-        bool valid = false;
-        bool dirty = false;
+        Tick readyAt;
+        std::uint64_t lruStamp;
+        StallTag home;
+        bool dirty;
     };
+    static_assert(std::is_trivial_v<Meta>,
+                  "Meta must be trivial: its array is never "
+                  "value-initialized");
 
-    Line *find(Addr line_addr);
-    const Line *find(Addr line_addr) const;
+    // Line addresses have the low log2(kCacheLineBytes) bits clear,
+    // so bit 0 doubles as the valid flag and 0 means "empty way".
+    static_assert(kCacheLineBytes >= 2, "need a spare low bit");
+
+    static Addr tagWord(Addr line_addr) { return line_addr | 1; }
+
+    std::size_t setIndex(Addr line_addr) const
+    {
+        return (line_addr / kCacheLineBytes) % sets_;
+    }
+
+    /** Way holding @p line_addr in @p set, or -1. MRU-first probe. */
+    int findWay(std::size_t set, Addr line_addr) const;
+
+    struct FreeDeleter
+    {
+        void operator()(void *p) const { std::free(p); }
+    };
 
     std::uint64_t sets_;
     unsigned ways_;
-    std::vector<Line> lines_;
+    /** sets_*ways_ probe words: tagWord(addr) or 0 when invalid. */
+    std::unique_ptr<Addr[], FreeDeleter> tags_;
+    /** sets_*ways_ cold entries, parallel to tags_. */
+    std::unique_ptr<Meta[], FreeDeleter> meta_;
+    /** Per-set most-recently-hit way (probe hint only). */
+    std::unique_ptr<std::uint8_t[], FreeDeleter> mru_;
     std::uint64_t stamp_ = 0;
 
     std::uint64_t hits_ = 0;

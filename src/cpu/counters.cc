@@ -26,6 +26,23 @@ CounterSet::operator+=(const CounterSet &o)
     return *this;
 }
 
+CounterSet &
+CounterSet::scale(double f)
+{
+    cycles *= f;
+    instructions *= f;
+    p1 *= f;
+    p2 *= f;
+    p3 *= f;
+    p4 *= f;
+    p5 *= f;
+    p6 *= f;
+    p7 *= f;
+    p8 *= f;
+    p9 *= f;
+    return *this;
+}
+
 CounterSet
 CounterSet::operator-(const CounterSet &o) const
 {

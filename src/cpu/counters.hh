@@ -67,6 +67,14 @@ struct CounterSet
 
     CounterSet &operator+=(const CounterSet &o);
     CounterSet operator-(const CounterSet &o) const;
+
+    /**
+     * Multiply the cycle/event accumulators (cycles, instructions,
+     * P1-P9) by @p f — e.g. 1/N to normalize an N-core sum to a
+     * per-core view. The integral prefetch line counts are left
+     * untouched: they are population totals, not per-core rates.
+     */
+    CounterSet &scale(double f);
 };
 
 }  // namespace cxlsim::cpu

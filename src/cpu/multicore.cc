@@ -1,6 +1,7 @@
 #include "multicore.hh"
 
 #include <algorithm>
+#include <vector>
 
 #include "sim/logging.hh"
 
@@ -34,25 +35,66 @@ MultiCore::enableSampling(Tick interval)
     cores_[0]->enableSampling(interval, &samples_);
 }
 
+namespace {
+
+/** Scheduler key: earliest (core time, core index) runs next. */
+struct CoreKey
+{
+    Tick now;
+    std::uint32_t idx;
+};
+
+bool
+earlier(const CoreKey &a, const CoreKey &b)
+{
+    return a.now < b.now || (a.now == b.now && a.idx < b.idx);
+}
+
+}  // namespace
+
 RunResult
 MultiCore::run()
 {
     backend_->resetStats();
 
-    // Advance the earliest core until all kernels finish.
-    std::size_t live = cores_.size();
-    while (live > 0) {
-        Core *earliest = nullptr;
-        for (auto &c : cores_) {
-            if (c->done())
-                continue;
-            if (!earliest || c->now() < earliest->now())
-                earliest = c.get();
+    // Advance the earliest core until all kernels finish. Ties
+    // break toward the lowest core index, matching the original
+    // linear scan, so request interleaving at the shared backend —
+    // and therefore every counter — is bit-identical.
+    if (cores_.size() == 1) {
+        while (cores_[0]->step()) {
         }
-        if (!earliest)
-            break;
-        if (!earliest->step())
-            --live;
+    } else {
+        // Indexed min-heap over core-local times. A core's key is
+        // only stale while the core is being stepped, so pops are
+        // always exact; the fast path keeps re-stepping the popped
+        // core while it remains earlier than the heap's root,
+        // skipping the push/pop pair entirely.
+        const auto later = [](const CoreKey &a, const CoreKey &b) {
+            return earlier(b, a);
+        };
+        std::vector<CoreKey> heap;
+        heap.reserve(cores_.size());
+        for (std::uint32_t i = 0; i < cores_.size(); ++i)
+            heap.push_back({cores_[i]->now(), i});
+        std::make_heap(heap.begin(), heap.end(), later);
+
+        while (!heap.empty()) {
+            std::pop_heap(heap.begin(), heap.end(), later);
+            const std::uint32_t idx = heap.back().idx;
+            heap.pop_back();
+            Core *c = cores_[idx].get();
+            for (;;) {
+                if (!c->step())
+                    break;  // kernel exhausted; drop from heap
+                const CoreKey k{c->now(), idx};
+                if (heap.empty() || earlier(k, heap.front()))
+                    continue;  // still earliest: step again
+                heap.push_back(k);
+                std::push_heap(heap.begin(), heap.end(), later);
+                break;
+            }
+        }
     }
 
     RunResult r;
@@ -62,18 +104,7 @@ MultiCore::run()
     }
     // Normalize counters to a per-core view so Spa's cycle
     // denominators match wall time for symmetric threads.
-    const double n = static_cast<double>(cores_.size());
-    r.counters.cycles /= n;
-    r.counters.instructions /= n;
-    r.counters.p1 /= n;
-    r.counters.p2 /= n;
-    r.counters.p3 /= n;
-    r.counters.p4 /= n;
-    r.counters.p5 /= n;
-    r.counters.p6 /= n;
-    r.counters.p7 /= n;
-    r.counters.p8 /= n;
-    r.counters.p9 /= n;
+    r.counters.scale(1.0 / static_cast<double>(cores_.size()));
     r.samples = std::move(samples_);
     r.backendStats = backend_->stats();
     return r;

@@ -5,10 +5,53 @@
 namespace cxlsim {
 
 void
+EventQueue::siftUp(std::size_t i)
+{
+    const Key k = heap_[i];
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!before(k, heap_[parent]))
+            break;
+        heap_[i] = heap_[parent];
+        i = parent;
+    }
+    heap_[i] = k;
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    const Key k = heap_[i];
+    const std::size_t n = heap_.size();
+    for (;;) {
+        std::size_t child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && before(heap_[child + 1], heap_[child]))
+            ++child;
+        if (!before(heap_[child], k))
+            break;
+        heap_[i] = heap_[child];
+        i = child;
+    }
+    heap_[i] = k;
+}
+
+void
 EventQueue::schedule(Tick when, Handler fn)
 {
     SIM_ASSERT(when >= now_, "scheduling into the past");
-    heap_.push(Entry{when, nextSeq_++, std::move(fn)});
+    std::uint32_t slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+        slots_[slot] = std::move(fn);
+    } else {
+        slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.push_back(std::move(fn));
+    }
+    heap_.push_back(Key{when, nextSeq_++, slot});
+    siftUp(heap_.size() - 1);
 }
 
 bool
@@ -16,12 +59,17 @@ EventQueue::step()
 {
     if (heap_.empty())
         return false;
-    // priority_queue::top() is const; the handler is mutable so we can
-    // move it out before popping.
-    const Entry &top = heap_.top();
+    const Key top = heap_.front();
     now_ = top.when;
-    Handler fn = std::move(top.fn);
-    heap_.pop();
+    if (heap_.size() > 1) {
+        heap_.front() = heap_.back();
+        heap_.pop_back();
+        siftDown(0);
+    } else {
+        heap_.pop_back();
+    }
+    Handler fn = std::move(slots_[top.slot]);
+    freeSlots_.push_back(top.slot);
     ++executed_;
     fn();
     return true;
@@ -37,7 +85,7 @@ EventQueue::run()
 void
 EventQueue::runUntil(Tick limit)
 {
-    while (!heap_.empty() && heap_.top().when <= limit)
+    while (!heap_.empty() && heap_.front().when <= limit)
         step();
     if (now_ < limit)
         now_ = limit;

@@ -6,16 +6,21 @@
  * are arbitrary callables scheduled at absolute ticks; ties are
  * broken deterministically by insertion order so runs are exactly
  * reproducible.
+ *
+ * Handlers are stored in an allocation-free InlineFunction (48-byte
+ * in-place capture buffer) kept in a free-listed slot array; the
+ * heap itself orders 24-byte (tick, seq, slot) keys with hole-based
+ * sifting. Scheduling a typical capturing lambda touches no
+ * allocator, and sifting never moves a handler.
  */
 
 #ifndef CXLSIM_SIM_EVENT_QUEUE_HH
 #define CXLSIM_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "inline_function.hh"
 #include "types.hh"
 
 namespace cxlsim {
@@ -31,7 +36,7 @@ namespace cxlsim {
 class EventQueue
 {
   public:
-    using Handler = std::function<void()>;
+    using Handler = InlineFunction;
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
@@ -56,7 +61,7 @@ class EventQueue
     std::size_t size() const { return heap_.size(); }
 
     /** Tick of the next pending event; only valid if !empty(). */
-    Tick nextTick() const { return heap_.top().when; }
+    Tick nextTick() const { return heap_.front().when; }
 
     /**
      * Execute the single next event, advancing now() to its tick.
@@ -77,23 +82,26 @@ class EventQueue
     std::uint64_t executed() const { return executed_; }
 
   private:
-    struct Entry
+    struct Key
     {
         Tick when;
         std::uint64_t seq;
-        // Handler lives outside the comparison key.
-        mutable Handler fn;
-
-        bool
-        operator>(const Entry &o) const
-        {
-            if (when != o.when)
-                return when > o.when;
-            return seq > o.seq;
-        }
+        std::uint32_t slot;  ///< Index of the handler in slots_.
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    /** Strict (tick, seq) order; seq is unique, so total. */
+    static bool
+    before(const Key &a, const Key &b)
+    {
+        return a.when < b.when || (a.when == b.when && a.seq < b.seq);
+    }
+
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+
+    std::vector<Key> heap_;
+    std::vector<Handler> slots_;
+    std::vector<std::uint32_t> freeSlots_;
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;

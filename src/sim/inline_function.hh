@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Small-buffer-optimized move-only callable, `void()` signature.
+ *
+ * The event queue schedules millions of short-lived lambdas;
+ * std::function heap-allocates for any capture beyond two words,
+ * which dominates scheduling cost. InlineFunction stores callables
+ * up to kInlineFunctionStorage bytes in place — no allocation, no
+ * indirection beyond one function pointer — and transparently
+ * falls back to the heap for oversized callables so call sites
+ * never have to care.
+ *
+ * Move-only by design: the queue moves handlers while sifting its
+ * heap, and captures (e.g. unique_ptrs) need not be copyable.
+ */
+
+#ifndef CXLSIM_SIM_INLINE_FUNCTION_HH
+#define CXLSIM_SIM_INLINE_FUNCTION_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace cxlsim {
+
+/** Bytes of in-place capture storage (three pointers + padding). */
+constexpr std::size_t kInlineFunctionStorage = 48;
+
+class InlineFunction
+{
+  public:
+    InlineFunction() noexcept = default;
+
+    template <typename F,
+              std::enable_if_t<!std::is_same_v<std::decay_t<F>,
+                                               InlineFunction>,
+                               int> = 0>
+    InlineFunction(F &&f)  // NOLINT: implicit like std::function
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(buf_))
+                Fn(std::forward<F>(f));
+            invoke_ = &inlineInvoke<Fn>;
+            manage_ = &inlineManage<Fn>;
+        } else {
+            using P = Fn *;
+            ::new (static_cast<void *>(buf_))
+                P(new Fn(std::forward<F>(f)));
+            invoke_ = &heapInvoke<Fn>;
+            manage_ = &heapManage<Fn>;
+        }
+    }
+
+    InlineFunction(InlineFunction &&o) noexcept
+        : invoke_(o.invoke_), manage_(o.manage_)
+    {
+        if (manage_)
+            manage_(buf_, o.buf_);
+        o.invoke_ = nullptr;
+        o.manage_ = nullptr;
+    }
+
+    InlineFunction &
+    operator=(InlineFunction &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            invoke_ = o.invoke_;
+            manage_ = o.manage_;
+            if (manage_)
+                manage_(buf_, o.buf_);
+            o.invoke_ = nullptr;
+            o.manage_ = nullptr;
+        }
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    void operator()() { invoke_(buf_); }
+
+    explicit operator bool() const noexcept
+    {
+        return invoke_ != nullptr;
+    }
+
+  private:
+    /**
+     * @p src non-null: move-construct dst's payload from src and
+     * destroy src's. @p src null: destroy dst's payload.
+     */
+    using Manage = void (*)(void *dst, void *src) noexcept;
+
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= kInlineFunctionStorage &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    template <typename Fn>
+    static void
+    inlineInvoke(void *p)
+    {
+        (*std::launder(reinterpret_cast<Fn *>(p)))();
+    }
+
+    template <typename Fn>
+    static void
+    inlineManage(void *dst, void *src) noexcept
+    {
+        if (src) {
+            Fn *s = std::launder(reinterpret_cast<Fn *>(src));
+            ::new (dst) Fn(std::move(*s));
+            s->~Fn();
+        } else {
+            std::launder(reinterpret_cast<Fn *>(dst))->~Fn();
+        }
+    }
+
+    template <typename Fn>
+    static void
+    heapInvoke(void *p)
+    {
+        (**std::launder(reinterpret_cast<Fn **>(p)))();
+    }
+
+    template <typename Fn>
+    static void
+    heapManage(void *dst, void *src) noexcept
+    {
+        if (src)
+            *static_cast<Fn **>(dst) =
+                *std::launder(reinterpret_cast<Fn **>(src));
+        else
+            delete *std::launder(reinterpret_cast<Fn **>(dst));
+    }
+
+    void
+    reset() noexcept
+    {
+        if (manage_)
+            manage_(buf_, nullptr);
+        invoke_ = nullptr;
+        manage_ = nullptr;
+    }
+
+    alignas(std::max_align_t) unsigned char
+        buf_[kInlineFunctionStorage];
+    void (*invoke_)(void *) = nullptr;
+    Manage manage_ = nullptr;
+};
+
+static_assert(sizeof(InlineFunction) ==
+                  kInlineFunctionStorage + 2 * sizeof(void *),
+              "InlineFunction layout: inline buffer plus two "
+              "dispatch pointers, nothing else");
+
+}  // namespace cxlsim
+
+#endif  // CXLSIM_SIM_INLINE_FUNCTION_HH

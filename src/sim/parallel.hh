@@ -1,56 +1,44 @@
 /**
  * @file
- * Minimal parallel-for over independent simulation runs.
+ * Parallel-for over independent simulation runs, backed by a
+ * lazily-initialized persistent worker pool.
  *
  * Simulations are deterministic and fully self-contained (each run
  * owns its platform, backend and cores), so suite-wide sweeps are
  * embarrassingly parallel. Results must be written by index into
  * pre-sized storage so output order stays deterministic regardless
  * of scheduling.
+ *
+ * Earlier versions spawned and joined a fresh std::thread set on
+ * every call; suite sweeps call parallelFor() hundreds of times, so
+ * thread creation dominated small batches. The pool parks workers
+ * on a condition variable between jobs and hands out index chunks
+ * via an atomic cursor; workers are spawned on first use and grown
+ * on demand when a caller requests more concurrency.
  */
 
 #ifndef CXLSIM_SIM_PARALLEL_HH
 #define CXLSIM_SIM_PARALLEL_HH
 
-#include <atomic>
 #include <cstddef>
 #include <functional>
-#include <thread>
-#include <vector>
 
 namespace cxlsim {
 
 /**
  * Run @p fn(i) for i in [0, n) on up to @p threads workers.
  * @p fn must only touch per-index state (or internally
- * synchronized state).
+ * synchronized state). Each index is claimed exactly once; nested
+ * calls from inside @p fn degrade to serial execution.
+ *
+ * @param threads 0 = hardware concurrency.
+ * @param grain   Indices claimed per atomic cursor bump. The
+ *                default of 1 suits millisecond-scale simulation
+ *                runs; raise it for very cheap bodies.
  */
-inline void
-parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn,
-            unsigned threads = 0)
-{
-    if (threads == 0)
-        threads = std::thread::hardware_concurrency();
-    threads = std::max(1u, std::min<unsigned>(
-                               threads, static_cast<unsigned>(n)));
-    if (threads == 1) {
-        for (std::size_t i = 0; i < n; ++i)
-            fn(i);
-        return;
-    }
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) {
-        pool.emplace_back([&] {
-            for (std::size_t i = next.fetch_add(1); i < n;
-                 i = next.fetch_add(1))
-                fn(i);
-        });
-    }
-    for (auto &th : pool)
-        th.join();
-}
+void parallelFor(std::size_t n,
+                 const std::function<void(std::size_t)> &fn,
+                 unsigned threads = 0, std::size_t grain = 1);
 
 }  // namespace cxlsim
 

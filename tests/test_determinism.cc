@@ -1,0 +1,174 @@
+/**
+ * @file
+ * End-to-end determinism: the same seeded workload must produce
+ * bit-identical RunResults no matter how the sweep is scheduled —
+ * serially, or via parallelFor with 1, 2 or 8 worker threads. This
+ * pins the worker pool's contract (each index claimed exactly
+ * once, results written by index) and the indexed multicore
+ * scheduler's tie-breaking (lowest core index first).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/platform.hh"
+#include "core/slowdown.hh"
+#include "sim/parallel.hh"
+#include "workloads/suite.hh"
+
+using namespace cxlsim;
+
+namespace {
+
+std::vector<workloads::WorkloadProfile>
+smallSuite()
+{
+    // Mix of 1-, 2-, 6- and 10-thread workloads so the multicore
+    // scheduler's heap path is exercised, shrunk for test speed.
+    std::vector<workloads::WorkloadProfile> ws;
+    for (const char *n :
+         {"605.mcf_s", "602.gcc_s", "519.lbm_r", "603.bwaves_s"}) {
+        workloads::WorkloadProfile w = workloads::byName(n);
+        w.blocksPerCore = 800;
+        ws.push_back(w);
+    }
+    return ws;
+}
+
+void
+expectSameResult(const cpu::RunResult &a, const cpu::RunResult &b,
+                 const std::string &what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(a.wallTicks, b.wallTicks);
+    // Bit-exact: determinism means equality, not tolerance.
+    EXPECT_EQ(a.counters.cycles, b.counters.cycles);
+    EXPECT_EQ(a.counters.instructions, b.counters.instructions);
+    EXPECT_EQ(a.counters.p1, b.counters.p1);
+    EXPECT_EQ(a.counters.p2, b.counters.p2);
+    EXPECT_EQ(a.counters.p3, b.counters.p3);
+    EXPECT_EQ(a.counters.p4, b.counters.p4);
+    EXPECT_EQ(a.counters.p5, b.counters.p5);
+    EXPECT_EQ(a.counters.p6, b.counters.p6);
+    EXPECT_EQ(a.counters.p7, b.counters.p7);
+    EXPECT_EQ(a.counters.p8, b.counters.p8);
+    EXPECT_EQ(a.counters.p9, b.counters.p9);
+    EXPECT_EQ(a.counters.l1pfIssued, b.counters.l1pfIssued);
+    EXPECT_EQ(a.counters.l1pfL3Hit, b.counters.l1pfL3Hit);
+    EXPECT_EQ(a.counters.l1pfL3Miss, b.counters.l1pfL3Miss);
+    EXPECT_EQ(a.counters.l2pfIssued, b.counters.l2pfIssued);
+    EXPECT_EQ(a.counters.l2pfL3Hit, b.counters.l2pfL3Hit);
+    EXPECT_EQ(a.counters.l2pfL3Miss, b.counters.l2pfL3Miss);
+    EXPECT_EQ(a.counters.demandL3Miss, b.counters.demandL3Miss);
+    EXPECT_EQ(a.backendStats.reads, b.backendStats.reads);
+    EXPECT_EQ(a.backendStats.writes, b.backendStats.writes);
+}
+
+}  // namespace
+
+TEST(Determinism, ParallelForThreadCountMatchesSerial)
+{
+    const auto ws = smallSuite();
+    const melody::Platform plat("EMR2S", "CXL-A");
+
+    // Serial reference: plain loop, no parallelFor involved.
+    std::vector<cpu::RunResult> ref(ws.size());
+    for (std::size_t i = 0; i < ws.size(); ++i)
+        ref[i] = melody::runWorkload(ws[i], plat, /*seed=*/1);
+
+    for (unsigned threads : {1u, 2u, 8u}) {
+        std::vector<cpu::RunResult> out(ws.size());
+        parallelFor(
+            ws.size(),
+            [&](std::size_t i) {
+                out[i] = melody::runWorkload(ws[i], plat, /*seed=*/1);
+            },
+            threads);
+        for (std::size_t i = 0; i < ws.size(); ++i)
+            expectSameResult(ref[i], out[i],
+                             ws[i].name + " @" +
+                                 std::to_string(threads) +
+                                 " threads");
+    }
+}
+
+TEST(Determinism, RepeatedParallelRunsAreStable)
+{
+    // Back-to-back pool jobs (the persistent-pool reuse path) must
+    // not leak state between jobs.
+    const auto ws = smallSuite();
+    const melody::Platform plat("SPR2S", "CXL-B");
+    std::vector<cpu::RunResult> first(ws.size()),
+        second(ws.size());
+    for (auto *out : {&first, &second}) {
+        parallelFor(
+            ws.size(),
+            [&](std::size_t i) {
+                (*out)[i] =
+                    melody::runWorkload(ws[i], plat, /*seed=*/7);
+            },
+            4);
+    }
+    for (std::size_t i = 0; i < ws.size(); ++i)
+        expectSameResult(first[i], second[i], ws[i].name);
+}
+
+TEST(Determinism, ParallelForCoversEveryIndexOnce)
+{
+    for (unsigned threads : {1u, 2u, 8u}) {
+        for (std::size_t grain : {std::size_t{1}, std::size_t{7}}) {
+            std::vector<int> hits(1000, 0);
+            parallelFor(
+                hits.size(), [&](std::size_t i) { ++hits[i]; },
+                threads, grain);
+            for (std::size_t i = 0; i < hits.size(); ++i)
+                ASSERT_EQ(hits[i], 1)
+                    << "index " << i << " @" << threads << "t grain "
+                    << grain;
+        }
+    }
+}
+
+TEST(Determinism, NestedParallelForFallsBackToSerial)
+{
+    std::vector<int> outer(16, 0);
+    parallelFor(
+        outer.size(),
+        [&](std::size_t i) {
+            int inner = 0;
+            parallelFor(
+                8, [&](std::size_t) { ++inner; }, 8);
+            outer[i] = inner;
+        },
+        4);
+    for (int v : outer)
+        EXPECT_EQ(v, 8);
+}
+
+TEST(Determinism, CounterScaleMatchesHandDivision)
+{
+    cpu::CounterSet c;
+    c.cycles = 1234.5;
+    c.instructions = 999.25;
+    c.p1 = 10;
+    c.p2 = 20;
+    c.p3 = 30;
+    c.p4 = 40;
+    c.p5 = 50;
+    c.p6 = 60;
+    c.p7 = 70;
+    c.p8 = 80;
+    c.p9 = 90;
+    c.l2pfIssued = 17;
+    cpu::CounterSet d = c;
+    d.scale(1.0 / 2.0);
+    EXPECT_EQ(d.cycles, c.cycles / 2.0);
+    EXPECT_EQ(d.instructions, c.instructions / 2.0);
+    EXPECT_EQ(d.p1, c.p1 / 2.0);
+    EXPECT_EQ(d.p5, c.p5 / 2.0);
+    EXPECT_EQ(d.p9, c.p9 / 2.0);
+    // Integral prefetch populations are totals, never scaled.
+    EXPECT_EQ(d.l2pfIssued, c.l2pfIssued);
+}

@@ -5,10 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/inline_function.hh"
 #include "sim/rng.hh"
 #include "sim/types.hh"
 
@@ -79,6 +83,91 @@ TEST(EventQueue, EventsCanScheduleEvents)
     q.run();
     EXPECT_EQ(depth, 5);
     EXPECT_EQ(q.now(), 40u);
+}
+
+TEST(EventQueue, StressTickSeqOrdering)
+{
+    // 10k randomly-ticked events must execute in exact (tick,
+    // insertion-seq) order — the determinism contract the whole
+    // simulator leans on.
+    constexpr int kEvents = 10000;
+    EventQueue q;
+    Rng rng(12345);
+    std::vector<std::pair<Tick, int>> expected;
+    expected.reserve(kEvents);
+    std::vector<std::pair<Tick, int>> executed;
+    executed.reserve(kEvents);
+    for (int id = 0; id < kEvents; ++id) {
+        // Narrow tick range so ties are common.
+        const Tick when = rng.below(977);
+        expected.emplace_back(when, id);
+        q.schedule(when, [&executed, &q, id] {
+            executed.emplace_back(q.now(), id);
+        });
+    }
+    q.run();
+    // Stable sort by tick keeps insertion order within a tick.
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    ASSERT_EQ(executed.size(), expected.size());
+    for (int i = 0; i < kEvents; ++i) {
+        ASSERT_EQ(executed[i].first, expected[i].first) << "at " << i;
+        ASSERT_EQ(executed[i].second, expected[i].second)
+            << "at " << i;
+    }
+    EXPECT_EQ(q.executed(), static_cast<std::uint64_t>(kEvents));
+}
+
+TEST(EventQueue, HandlerIsAllocationFreeForTypicalCaptures)
+{
+    // A four-word capture must fit the inline buffer.
+    struct Capture
+    {
+        void *a, *b, *c;
+        std::uint64_t d;
+    };
+    static_assert(sizeof(Capture) <= kInlineFunctionStorage);
+    int hits = 0;
+    std::uint64_t sum = 0;
+    EventQueue q;
+    Capture cap{&hits, &q, nullptr, 41};
+    q.schedule(5, [cap, &hits, &sum] {
+        ++hits;
+        sum += cap.d;
+    });
+    q.run();
+    EXPECT_EQ(hits, 1);
+    EXPECT_EQ(sum, 41u);
+}
+
+TEST(InlineFunction, MoveOnlyAndOversizedCaptures)
+{
+    // Move-only capture.
+    auto p = std::make_unique<int>(7);
+    InlineFunction f([q = std::move(p)] { *q += 1; });
+    EXPECT_TRUE(static_cast<bool>(f));
+    f();
+
+    // Oversized capture falls back to the heap but still works.
+    struct Big
+    {
+        char bytes[200];
+    };
+    Big big{};
+    big.bytes[199] = 42;
+    int seen = 0;
+    InlineFunction g([big, &seen] { seen = big.bytes[199]; });
+    InlineFunction h = std::move(g);
+    EXPECT_FALSE(static_cast<bool>(g));
+    h();
+    EXPECT_EQ(seen, 42);
+
+    // Move-assignment releases the previous payload.
+    h = InlineFunction([&seen] { seen = -1; });
+    h();
+    EXPECT_EQ(seen, -1);
 }
 
 TEST(Rng, Deterministic)
