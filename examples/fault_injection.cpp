@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fault injection walkthrough: run one workload on a CXL platform
+ * under increasingly hostile FaultPlans and watch the RAS counters
+ * and the slowdown respond.
+ *
+ *   1. Clean baseline (no plan) — the reference run.
+ *   2. Background noise — CRC + correctable-ECC rates and a patrol
+ *      scrubber: the workload survives with a small latency tax.
+ *   3. Poison — uncorrectable errors surfacing as machine checks.
+ *   4. Device loss with failover — the device goes offline mid-run
+ *      and recovers; timed-out requests are served by local DRAM.
+ */
+
+#include <cstdio>
+
+#include "core/platform.hh"
+#include "core/slowdown.hh"
+#include "ras/fault_plan.hh"
+#include "stats/table.hh"
+#include "workloads/suite.hh"
+
+using namespace cxlsim;
+
+namespace {
+
+cpu::RunResult
+runPlan(const workloads::WorkloadProfile &w, const char *spec)
+{
+    melody::Platform plat("EMR2S", "CXL-B");
+    if (spec && *spec)
+        plat.setFaultPlan(ras::parseFaultPlan(spec));
+    return melody::runWorkload(w, plat, /*seed=*/42);
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("== Melody-Sim fault injection ==\n\n");
+
+    // Bandwidth-hungry enough that fault rates in the 1e-4 range
+    // produce visible counts within a ~250us simulated run.
+    workloads::WorkloadProfile w = workloads::byName("603.bwaves_s");
+    w.blocksPerCore = 20000;
+
+    struct Scenario
+    {
+        const char *label;
+        const char *spec;
+    };
+    const Scenario scenarios[] = {
+        {"clean", ""},
+        {"noisy link+media",
+         "crc=2e-4,ce=1e-4,scrub=50us"},
+        {"poison", "ue=5e-4"},
+        {"device loss+failover",
+         "offline@50us,recover@150us,timeout=800,budget=2,failover"},
+    };
+
+    const cpu::RunResult base = runPlan(w, "");
+
+    stats::Table t({"Scenario", "Slowdown(%)", "CRC", "CE", "MCE",
+                    "Retries", "Failovers"});
+    for (const Scenario &s : scenarios) {
+        const cpu::RunResult r = runPlan(w, s.spec);
+        const ras::RasStats total = r.rasTotal();
+        t.addRow({s.label,
+                  stats::Table::num(melody::slowdownPct(base, r), 2),
+                  stats::Table::num(double(total.crcErrors), 0),
+                  stats::Table::num(double(total.corrected), 0),
+                  stats::Table::num(double(r.counters.machineChecks), 0),
+                  stats::Table::num(double(total.hostRetries), 0),
+                  stats::Table::num(double(total.failovers), 0)});
+    }
+    t.print();
+
+    std::printf(
+        "\n(Sub-1%% slowdowns are run-to-run noise: non-zero fault"
+        " rates shift the\n device's stochastic hiccup draws.)\n"
+        "\nThe same plans drive the CLI:\n"
+        "  melody ras 603.bwaves_s EMR2S CXL-B "
+        "\"ue=5e-4,offline@50us,failover\"\n");
+    return 0;
+}

@@ -6,6 +6,7 @@
 #include "mem/interleaved_backend.hh"
 #include "mem/local_backend.hh"
 #include "mem/numa_backend.hh"
+#include "mem/region_router.hh"
 #include "sim/logging.hh"
 
 namespace melody {
@@ -68,7 +69,7 @@ serverSpec(const std::string &server)
         s.upiGBps = 7.0;        // 8-socket multi-hop path
         s.upiPropNs = 160.0;    // -> ~410ns
     } else {
-        SIM_FATAL("unknown server: " + server);
+        throw ConfigError("unknown server: " + server);
     }
     s.local.name = "Local";
     return s;
@@ -101,6 +102,13 @@ Platform::displayName() const
     return cpu_.name + ":" + memory_;
 }
 
+void
+Platform::setFaultPlan(const cxlsim::ras::FaultPlan &plan)
+{
+    plan.validate();
+    faultPlan_ = plan;
+}
+
 mem::BackendPtr
 Platform::makeBackend(std::uint64_t seed) const
 {
@@ -110,6 +118,20 @@ Platform::makeBackend(std::uint64_t seed) const
         mem::LocalDramConfig cfg = s.local;
         cfg.seed = sd;
         return std::make_unique<mem::LocalDramBackend>(cfg);
+    };
+
+    // Graceful degradation: when the plan asks for failover, CXL
+    // setups get a router whose fallback tier is socket-local DRAM
+    // — timed-out requests are served there instead of surfacing
+    // kTimeout to the core.
+    auto withFailover = [&](mem::BackendPtr b) -> mem::BackendPtr {
+        if (!faultPlan_.failover)
+            return b;
+        const std::string nm = b->name() + "+Failover";
+        auto router = std::make_unique<mem::RegionRouter>(
+            nm, makeLocal(seed ^ 0x7f4a7c15), std::move(b));
+        router->enableFailover();
+        return router;
     };
 
     if (memory_ == "Local")
@@ -130,11 +152,13 @@ Platform::makeBackend(std::uint64_t seed) const
             mem::CxlBackendConfig cfg;
             cfg.profile = cxl::cxlD();
             cfg.seed = seed + 17 * (i + 1);
+            cfg.faultPlan = faultPlan_;
+            cfg.deviceIndex = i;
             devs.push_back(
                 std::make_unique<mem::CxlBackend>(cfg));
         }
-        return std::make_unique<mem::InterleavedBackend>(
-            "CXL-Dx2", std::move(devs));
+        return withFailover(std::make_unique<mem::InterleavedBackend>(
+            "CXL-Dx2", std::move(devs)));
     }
 
     if (memory_.rfind("CXL-", 0) == 0) {
@@ -143,6 +167,7 @@ Platform::makeBackend(std::uint64_t seed) const
         mem::CxlBackendConfig cfg;
         cfg.profile = cxl::profileByName(dev);
         cfg.seed = seed ^ 0x85ebca6b;
+        cfg.faultPlan = faultPlan_;
         if (suffix == "+Switch")
             cfg.switchHops = 1;
         else if (suffix == "+Switch2")
@@ -167,16 +192,16 @@ Platform::makeBackend(std::uint64_t seed) const
             hop.jitter.episodeMaxNs = 3500.0;
             hop.jitter.episodeAlpha = 1.3;
             hop.seed = seed ^ 0xc2b2ae35;
-            return std::make_unique<mem::NumaBackend>(
-                memory_, std::move(device), hop);
+            return withFailover(std::make_unique<mem::NumaBackend>(
+                memory_, std::move(device), hop));
         }
-        SIM_ASSERT(suffix.empty() || suffix == "+Switch" ||
-                       suffix == "+Switch2",
-                   "unknown CXL setup suffix: " + memory_);
-        return device;
+        if (!suffix.empty() && suffix != "+Switch" &&
+            suffix != "+Switch2")
+            throw ConfigError("unknown CXL setup suffix: " + memory_);
+        return withFailover(std::move(device));
     }
 
-    SIM_FATAL("unknown memory setup: " + memory_);
+    throw ConfigError("unknown memory setup: " + memory_);
 }
 
 }  // namespace melody

@@ -26,6 +26,7 @@
 
 #include "cpu/profile.hh"
 #include "mem/backend.hh"
+#include "ras/fault_plan.hh"
 
 namespace melody {
 
@@ -49,6 +50,22 @@ class Platform
     const cxlsim::cpu::CpuProfile &cpu() const { return cpu_; }
 
     /**
+     * Arm a fault-injection plan: every CXL backend built by
+     * makeBackend() carries it (interleaved devices get their own
+     * device index for scheduled events). With plan.failover set,
+     * CXL setups are wrapped in a failover router whose fallback
+     * is socket-local DRAM.
+     *
+     * @throw cxlsim::ConfigError on out-of-range parameters.
+     */
+    void setFaultPlan(const cxlsim::ras::FaultPlan &plan);
+
+    const cxlsim::ras::FaultPlan &faultPlan() const
+    {
+        return faultPlan_;
+    }
+
+    /**
      * Build a fresh memory backend for one experiment run.
      * Distinct seeds give independent stochastic behaviour.
      */
@@ -58,6 +75,7 @@ class Platform
     std::string server_;
     std::string memory_;
     cxlsim::cpu::CpuProfile cpu_;
+    cxlsim::ras::FaultPlan faultPlan_;
 };
 
 }  // namespace melody

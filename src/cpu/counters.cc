@@ -23,6 +23,9 @@ CounterSet::operator+=(const CounterSet &o)
     demandL3Miss += o.demandL3Miss;
     l2pfIssued += o.l2pfIssued;
     l1pfIssued += o.l1pfIssued;
+    machineChecks += o.machineChecks;
+    demandTimeouts += o.demandTimeouts;
+    prefetchDrops += o.prefetchDrops;
     return *this;
 }
 
@@ -65,6 +68,9 @@ CounterSet::operator-(const CounterSet &o) const
     r.demandL3Miss -= o.demandL3Miss;
     r.l2pfIssued -= o.l2pfIssued;
     r.l1pfIssued -= o.l1pfIssued;
+    r.machineChecks -= o.machineChecks;
+    r.demandTimeouts -= o.demandTimeouts;
+    r.prefetchDrops -= o.prefetchDrops;
     return r;
 }
 

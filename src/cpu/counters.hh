@@ -55,6 +55,13 @@ struct CounterSet
     std::uint64_t l2pfIssued = 0;
     std::uint64_t l1pfIssued = 0;
 
+    /** RAS events the core observed (poison consumption surfaces
+     *  as a machine-check exception; see src/ras/). Population
+     *  totals like the prefetch counts — never scaled. */
+    std::uint64_t machineChecks = 0;
+    std::uint64_t demandTimeouts = 0;
+    std::uint64_t prefetchDrops = 0;
+
     /** Derived stall components (Figure 10). */
     double sStore() const { return p2; }
     double sL1() const { return p1 - p3; }

@@ -107,6 +107,7 @@ MultiCore::run()
     r.counters.scale(1.0 / static_cast<double>(cores_.size()));
     r.samples = std::move(samples_);
     r.backendStats = backend_->stats();
+    backend_->rasReport(&r.ras);
     return r;
 }
 

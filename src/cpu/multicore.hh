@@ -33,6 +33,18 @@ struct RunResult
     std::vector<CounterSample> samples;
     /** Backend traffic totals. */
     mem::BackendStats backendStats;
+    /** Per-node RAS counters (empty when no faults are armed). */
+    std::vector<ras::RasReportEntry> ras;
+
+    /** Sum of all per-node RAS counters. */
+    ras::RasStats
+    rasTotal() const
+    {
+        ras::RasStats total;
+        for (const auto &e : ras)
+            total += e.stats;
+        return total;
+    }
 
     /** Wall time in seconds. */
     double

@@ -32,8 +32,8 @@ CxlDevice::CxlDevice(const DeviceProfile &profile, std::uint64_t seed,
             std::make_unique<link::DuplexLink>(switchLinkConfig()));
 }
 
-Tick
-CxlDevice::sendLink(unsigned bytes, link::Dir dir, Tick now)
+link::SendResult
+CxlDevice::sendLinkEx(unsigned bytes, link::Dir dir, Tick now)
 {
     if (halfDuplex_) {
         // FPGA IP: only data payloads occupy the shared medium;
@@ -42,11 +42,34 @@ CxlDevice::sendLink(unsigned bytes, link::Dir dir, Tick now)
         // data and write data incur the turnaround penalty that
         // degrades CXL-C under mixed read/write traffic (Fig 5).
         if (bytes < kDataBytes)
-            return now + nsToTicks(
-                             halfDuplex_->config().propagationNs);
-        return halfDuplex_->send(bytes, dir, now);
+            return {now + nsToTicks(
+                              halfDuplex_->config().propagationNs),
+                    false};
+        return halfDuplex_->sendEx(bytes, dir, now);
     }
-    return duplex_->send(bytes, dir, now);
+    return duplex_->sendEx(bytes, dir, now);
+}
+
+void
+CxlDevice::enableRas(const ras::FaultPlan &plan, unsigned device,
+                     std::uint64_t seed)
+{
+    ctrl_.enableRas(plan, device, seed);
+    const std::uint64_t linkSeed = seed ^ 0x94d049bb133111ebULL;
+    if (halfDuplex_)
+        halfDuplex_->enableFaults(plan.link, linkSeed);
+    else
+        duplex_->enableFaults(plan.link, linkSeed);
+}
+
+void
+CxlDevice::addRasTo(ras::RasStats *out) const
+{
+    if (halfDuplex_)
+        halfDuplex_->addRasTo(out);
+    else
+        duplex_->addRasTo(out);
+    ctrl_.addRasTo(out);
 }
 
 Tick
@@ -62,20 +85,35 @@ CxlDevice::throughSwitches(unsigned bytes, link::Dir dir, Tick now)
     return now;
 }
 
-Tick
-CxlDevice::read(Addr addr, Tick host_issue)
+ServiceOutcome
+CxlDevice::readEx(Addr addr, Tick host_issue)
 {
     Tick t = throughSwitches(kReadRequestBytes, link::Dir::kToDevice,
                              host_issue);
-    t = sendLink(kReadRequestBytes, link::Dir::kToDevice, t);
-    t = ctrl_.service(addr, /*is_write=*/false, t);
-    t = sendLink(kDataBytes, link::Dir::kFromDevice, t);
-    t = throughSwitches(kDataBytes, link::Dir::kFromDevice, t);
-    return t;
+    const auto req =
+        sendLinkEx(kReadRequestBytes, link::Dir::kToDevice, t);
+    if (req.lost) {
+        // Replay budget exhausted on the request flit: the
+        // controller never sees it. The host may re-issue.
+        ctrl_.noteLinkDown();
+        return {req.at, ras::Status::kRetryable};
+    }
+    const ServiceOutcome so =
+        ctrl_.serviceEx(addr, /*is_write=*/false, req.at);
+    if (so.status == ras::Status::kTimeout)
+        return so;  // device down: no data ever comes back
+    const auto data =
+        sendLinkEx(kDataBytes, link::Dir::kFromDevice, so.done);
+    t = throughSwitches(kDataBytes, link::Dir::kFromDevice, data.at);
+    if (data.lost) {
+        ctrl_.noteLinkDown();
+        return {t, ras::Status::kRetryable};
+    }
+    return {t, so.status};
 }
 
-Tick
-CxlDevice::write(Addr addr, Tick host_issue)
+ServiceOutcome
+CxlDevice::writeEx(Addr addr, Tick host_issue)
 {
     // Writes are posted: the command header reaches the controller
     // at wire speed and is queued while the data flits stream over
@@ -86,19 +124,33 @@ CxlDevice::write(Addr addr, Tick host_issue)
     Tick dataArrive = throughSwitches(kDataBytes,
                                       link::Dir::kToDevice,
                                       host_issue);
-    dataArrive = sendLink(kDataBytes, link::Dir::kToDevice,
-                          dataArrive);
+    const auto data =
+        sendLinkEx(kDataBytes, link::Dir::kToDevice, dataArrive);
+    if (data.lost) {
+        ctrl_.noteLinkDown();
+        return {data.at, ras::Status::kRetryable};
+    }
     const Tick cmdArrive =
         host_issue +
         nsToTicks(profile_.linkCfg.propagationNs *
                   static_cast<double>(1 + switches_.size()));
-    const Tick ctrlDone =
-        ctrl_.service(addr, /*is_write=*/true, cmdArrive);
+    const ServiceOutcome so =
+        ctrl_.serviceEx(addr, /*is_write=*/true, cmdArrive);
+    if (so.status == ras::Status::kTimeout)
+        return so;  // no completion: host timer expires
 
-    Tick t = std::max(dataArrive, ctrlDone);
-    t = sendLink(kCompletionBytes, link::Dir::kFromDevice, t);
-    t = throughSwitches(kCompletionBytes, link::Dir::kFromDevice, t);
-    return t;
+    Tick t = std::max(data.at, so.done);
+    const auto cmpl =
+        sendLinkEx(kCompletionBytes, link::Dir::kFromDevice, t);
+    t = throughSwitches(kCompletionBytes, link::Dir::kFromDevice,
+                        cmpl.at);
+    if (cmpl.lost) {
+        ctrl_.noteLinkDown();
+        return {t, ras::Status::kRetryable};
+    }
+    // Writes never surface poison: a bad target line is simply
+    // overwritten (and counted by the controller).
+    return {t, ras::Status::kOk};
 }
 
 std::uint64_t

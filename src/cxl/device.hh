@@ -44,10 +44,39 @@ class CxlDevice
               unsigned switch_hops = 0);
 
     /** 64B read: request down, DRAM access, data back. */
-    Tick read(Addr addr, Tick host_issue);
+    Tick read(Addr addr, Tick host_issue)
+    {
+        return readEx(addr, host_issue).done;
+    }
 
     /** 64B write: data down, DRAM write, completion (NDR) back. */
-    Tick write(Addr addr, Tick host_issue);
+    Tick write(Addr addr, Tick host_issue)
+    {
+        return writeEx(addr, host_issue).done;
+    }
+
+    /** As read(), plus the RAS completion status: Retryable when a
+     *  flit was lost to replay exhaustion, Timeout when the device
+     *  is down, Poisoned on an uncorrectable media error. */
+    ServiceOutcome readEx(Addr addr, Tick host_issue);
+
+    /** As write(); a poisoned write target is recorded, not
+     *  surfaced (writes overwrite the bad line). */
+    ServiceOutcome writeEx(Addr addr, Tick host_issue);
+
+    /**
+     * Arm the fault plan on this device: CRC/LLR faults on the
+     * device link, media faults + health machine + scheduled
+     * events (for index @p device) on the controller.
+     */
+    void enableRas(const ras::FaultPlan &plan, unsigned device,
+                   std::uint64_t seed);
+
+    /** Current health (Healthy when RAS is disabled). */
+    ras::DeviceHealth health() const { return ctrl_.health(); }
+
+    /** Aggregate link + controller RAS counters into @p out. */
+    void addRasTo(ras::RasStats *out) const;
 
     const DeviceProfile &profile() const { return profile_; }
     const ControllerStats &controllerStats() const
@@ -60,7 +89,13 @@ class CxlDevice
     std::uint64_t linkBytes() const;
 
   private:
-    Tick sendLink(unsigned bytes, link::Dir dir, Tick now);
+    link::SendResult sendLinkEx(unsigned bytes, link::Dir dir,
+                                Tick now);
+    Tick
+    sendLink(unsigned bytes, link::Dir dir, Tick now)
+    {
+        return sendLinkEx(bytes, dir, now).at;
+    }
     Tick throughSwitches(unsigned bytes, link::Dir dir, Tick now);
 
     DeviceProfile profile_;

@@ -4,6 +4,91 @@
 
 namespace cxlsim::cxl {
 
+namespace {
+
+void
+checkProb(double v, const std::string &profile, const char *what)
+{
+    if (!(v >= 0.0 && v <= 1.0))
+        throw ConfigError(profile + ": " + what +
+                          " must be a probability in [0, 1], got " +
+                          std::to_string(v));
+}
+
+void
+checkNonNegative(double v, const std::string &profile,
+                 const char *what)
+{
+    if (!(v >= 0.0))
+        throw ConfigError(profile + ": " + what +
+                          " must be non-negative, got " +
+                          std::to_string(v));
+}
+
+void
+checkPositive(double v, const std::string &profile, const char *what)
+{
+    if (!(v > 0.0))
+        throw ConfigError(profile + ": " + what +
+                          " must be positive, got " +
+                          std::to_string(v));
+}
+
+}  // namespace
+
+void
+HiccupParams::validate() const
+{
+    const std::string ctx = "hiccup params";
+    checkProb(baseProb, ctx, "base probability");
+    checkProb(loadProb, ctx, "load probability");
+    checkNonNegative(loadExponent, ctx, "load exponent");
+    if (!(onsetUtil >= 0.0 && onsetUtil < 1.0))
+        throw ConfigError(ctx + ": onset utilization must be in "
+                                "[0, 1), got " +
+                          std::to_string(onsetUtil));
+    checkNonNegative(minNs, ctx, "min pause");
+    if (!(maxNs >= minNs))
+        throw ConfigError(ctx + ": max pause must be >= min pause");
+    checkPositive(alpha, ctx, "Pareto shape");
+}
+
+void
+ThermalParams::validate() const
+{
+    const std::string ctx = "thermal params";
+    checkPositive(bwThresholdGBps, ctx, "bandwidth threshold");
+    checkProb(throttleProb, ctx, "throttle probability");
+    checkNonNegative(pauseNs, ctx, "pause duration");
+}
+
+void
+DeviceProfile::validate() const
+{
+    const std::string ctx =
+        name.empty() ? std::string("device profile") : name;
+    checkPositive(linkCfg.gbpsPerDir, ctx, "link bandwidth");
+    checkNonNegative(linkCfg.propagationNs, ctx, "link propagation");
+    checkNonNegative(linkCfg.turnaroundNs, ctx, "link turnaround");
+    if (dramChannels == 0)
+        throw ConfigError(ctx + ": DRAM channel count must be >= 1");
+    if (!(refreshHiding >= 0.0 && refreshHiding <= 1.0))
+        throw ConfigError(ctx + ": refresh hiding must be in [0, 1]");
+    checkNonNegative(controllerNs, ctx, "controller latency");
+    checkPositive(schedulerPerReqNs, ctx, "scheduler occupancy");
+    if (queueCapacity == 0)
+        throw ConfigError(ctx + ": queue capacity must be >= 1");
+    checkNonNegative(numaExtraNs, ctx, "remote-socket extra latency");
+    if (capacityBytes == 0)
+        throw ConfigError(ctx + ": capacity must be non-zero");
+    try {
+        hiccups.validate();
+        thermal.validate();
+    } catch (const ConfigError &e) {
+        throw ConfigError(ctx + ": " + e.what());
+    }
+}
+
 DeviceProfile
 cxlA()
 {
@@ -123,7 +208,7 @@ profileByName(const std::string &name)
         return cxlC();
     if (name == "CXL-D")
         return cxlD();
-    SIM_FATAL("unknown CXL device profile: " + name);
+    throw ConfigError("unknown CXL device profile: " + name);
 }
 
 }  // namespace cxlsim::cxl

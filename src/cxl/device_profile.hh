@@ -41,6 +41,9 @@ namespace cxlsim::cxl {
  */
 struct HiccupParams
 {
+    /** @throw ConfigError on out-of-range values. */
+    void validate() const;
+
     /** Per-request hiccup probability at idle. */
     double baseProb = 0.0;
     /** Additional probability at full utilization. */
@@ -58,6 +61,9 @@ struct HiccupParams
 /** Thermal throttling: sustained high power forces service pauses. */
 struct ThermalParams
 {
+    /** @throw ConfigError on out-of-range values. */
+    void validate() const;
+
     /** Sustained bandwidth (GB/s) above which throttling may engage. */
     double bwThresholdGBps = 1e9;  // effectively disabled by default
     /** Probability per request of a throttle pause once engaged. */
@@ -108,6 +114,16 @@ struct DeviceProfile
     {
         return 64.0 / schedulerPerReqNs;
     }
+
+    /**
+     * Bounds-check every field (probabilities in [0,1], latencies
+     * non-negative, channel/queue counts non-zero) so a bad value
+     * fails loudly at construction instead of silently propagating
+     * NaNs through the latency model.
+     *
+     * @throw ConfigError with the offending field named.
+     */
+    void validate() const;
 };
 
 /** The four calibrated device presets. */

@@ -83,10 +83,30 @@ class PooledCxlDevice
     Tick earliestAdmission(unsigned head, Tick now);
 
     /** 64B read from @p head; returns host-visible completion. */
-    Tick read(unsigned head, Addr addr, Tick host_issue);
+    Tick read(unsigned head, Addr addr, Tick host_issue)
+    {
+        return readEx(head, addr, host_issue).done;
+    }
 
     /** 64B write from @p head. */
-    Tick write(unsigned head, Addr addr, Tick host_issue);
+    Tick write(unsigned head, Addr addr, Tick host_issue)
+    {
+        return writeEx(head, addr, host_issue).done;
+    }
+
+    /** As read()/write(), with the RAS completion status (the
+     *  shared controller's health gates every head at once). */
+    ServiceOutcome readEx(unsigned head, Addr addr, Tick host_issue);
+    ServiceOutcome writeEx(unsigned head, Addr addr, Tick host_issue);
+
+    /** Arm the fault plan on each head link + shared controller. */
+    void enableRas(const ras::FaultPlan &plan, unsigned device,
+                   std::uint64_t seed);
+
+    ras::DeviceHealth health() const { return ctrl_.health(); }
+
+    /** Aggregate RAS counters (all head links + controller). */
+    void addRasTo(ras::RasStats *out) const;
 
     unsigned heads() const
     {

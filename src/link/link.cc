@@ -2,8 +2,8 @@
 
 namespace cxlsim::link {
 
-Tick
-DuplexLink::send(unsigned bytes, Dir dir, Tick now)
+SendResult
+DuplexLink::sendEx(unsigned bytes, Dir dir, Tick now)
 {
     const auto d = static_cast<unsigned>(dir);
     const Tick start = std::max(now, freeAt_[d]);
@@ -11,11 +11,33 @@ DuplexLink::send(unsigned bytes, Dir dir, Tick now)
     freeAt_[d] = start + ser;
     ++stats_.transfers[d];
     stats_.bytes[d] += bytes;
-    return freeAt_[d] + nsToTicks(cfg_.propagationNs);
+
+    bool lost = false;
+    if (faults_) {
+        // Replays re-occupy the serializer: subsequent flits in
+        // this direction queue behind the retry traffic.
+        freeAt_[d] += faults_->flitPenalty(&lost);
+    }
+    return {freeAt_[d] + nsToTicks(cfg_.propagationNs), lost};
 }
 
-Tick
-HalfDuplexLink::send(unsigned bytes, Dir dir, Tick now)
+void
+DuplexLink::enableFaults(const ras::LinkFaultParams &p,
+                         std::uint64_t seed)
+{
+    if (p.enabled())
+        faults_ = std::make_unique<ras::LinkFaultProcess>(p, seed);
+}
+
+void
+DuplexLink::addRasTo(ras::RasStats *out) const
+{
+    if (faults_)
+        faults_->addTo(out);
+}
+
+SendResult
+HalfDuplexLink::sendEx(unsigned bytes, Dir dir, Tick now)
 {
     const auto d = static_cast<unsigned>(dir);
     Tick start = std::max(now, freeAt_);
@@ -28,7 +50,26 @@ HalfDuplexLink::send(unsigned bytes, Dir dir, Tick now)
     freeAt_ = start + ser;
     ++stats_.transfers[d];
     stats_.bytes[d] += bytes;
-    return freeAt_ + nsToTicks(cfg_.propagationNs);
+
+    bool lost = false;
+    if (faults_)
+        freeAt_ += faults_->flitPenalty(&lost);
+    return {freeAt_ + nsToTicks(cfg_.propagationNs), lost};
+}
+
+void
+HalfDuplexLink::enableFaults(const ras::LinkFaultParams &p,
+                             std::uint64_t seed)
+{
+    if (p.enabled())
+        faults_ = std::make_unique<ras::LinkFaultProcess>(p, seed);
+}
+
+void
+HalfDuplexLink::addRasTo(ras::RasStats *out) const
+{
+    if (faults_)
+        faults_->addTo(out);
 }
 
 }  // namespace cxlsim::link

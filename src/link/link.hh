@@ -15,6 +15,13 @@
  * A link transfer is charged serialization (bytes at the effective
  * rate) plus fixed propagation (PHY + transaction/link layer
  * processing, single-digit to tens of ns).
+ *
+ * Fault injection (optional, off by default): a seeded per-flit CRC
+ * error process triggers CXL LLR-style replay — each replay round
+ * re-occupies the serializer for a configurable latency; when the
+ * replay budget is exhausted the flit is lost and sendEx() reports
+ * the transfer failed, which the device layer escalates to a
+ * link-down health event.
  */
 
 #ifndef CXLSIM_LINK_LINK_HH
@@ -22,7 +29,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 
+#include "ras/ras.hh"
 #include "sim/types.hh"
 
 namespace cxlsim::link {
@@ -49,6 +58,15 @@ struct LinkConfig
     double turnaroundNs = 20.0;
 };
 
+/** Arrival tick plus transport outcome of one transfer. */
+struct SendResult
+{
+    /** Tick the flit (or its loss) is known at the far end. */
+    Tick at;
+    /** True when LLR replays were exhausted and the flit was lost. */
+    bool lost;
+};
+
 /** Full-duplex link: independent serialization per direction. */
 class DuplexLink
 {
@@ -59,7 +77,17 @@ class DuplexLink
      * Transfer @p bytes in direction @p dir starting no earlier
      * than @p now; returns arrival tick at the far end.
      */
-    Tick send(unsigned bytes, Dir dir, Tick now);
+    Tick send(unsigned bytes, Dir dir, Tick now)
+    {
+        return sendEx(bytes, dir, now).at;
+    }
+
+    /** As send(), but also report transport failure (CRC/LLR). */
+    SendResult sendEx(unsigned bytes, Dir dir, Tick now);
+
+    /** Arm the CRC/replay fault process with a dedicated stream. */
+    void enableFaults(const ras::LinkFaultParams &p,
+                      std::uint64_t seed);
 
     /** Tick the direction's serializer frees. */
     Tick freeAt(Dir dir) const { return freeAt_[unsigned(dir)]; }
@@ -67,10 +95,15 @@ class DuplexLink
     const LinkStats &stats() const { return stats_; }
     const LinkConfig &config() const { return cfg_; }
 
+    /** Accumulate link-layer fault counters into @p out. */
+    void addRasTo(ras::RasStats *out) const;
+
   private:
     LinkConfig cfg_;
     Tick freeAt_[2] = {0, 0};
     LinkStats stats_;
+    /** Null when fault injection is disabled (the default). */
+    std::unique_ptr<ras::LinkFaultProcess> faults_;
 };
 
 /** Half-duplex link: both directions share one medium. */
@@ -79,17 +112,28 @@ class HalfDuplexLink
   public:
     explicit HalfDuplexLink(const LinkConfig &cfg) : cfg_(cfg) {}
 
-    Tick send(unsigned bytes, Dir dir, Tick now);
+    Tick send(unsigned bytes, Dir dir, Tick now)
+    {
+        return sendEx(bytes, dir, now).at;
+    }
+
+    SendResult sendEx(unsigned bytes, Dir dir, Tick now);
+
+    void enableFaults(const ras::LinkFaultParams &p,
+                      std::uint64_t seed);
 
     Tick freeAt() const { return freeAt_; }
     const LinkStats &stats() const { return stats_; }
     const LinkConfig &config() const { return cfg_; }
+
+    void addRasTo(ras::RasStats *out) const;
 
   private:
     LinkConfig cfg_;
     Tick freeAt_ = 0;
     bool lastDirFrom_ = false;
     LinkStats stats_;
+    std::unique_ptr<ras::LinkFaultProcess> faults_;
 };
 
 /** Serialization ticks for @p bytes at @p gbps. */

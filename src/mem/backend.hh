@@ -17,11 +17,20 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "mem/request.hh"
+#include "ras/ras.hh"
 #include "sim/types.hh"
 
 namespace cxlsim::mem {
+
+/** Completion tick + RAS status of one backend access. */
+struct AccessResult
+{
+    Tick done;
+    ras::Status status = ras::Status::kOk;
+};
 
 /** Byte/request counters every backend keeps. */
 struct BackendStats
@@ -56,6 +65,29 @@ class MemoryBackend
      * @param now  Issue tick (request leaves the LLC/uncore).
      */
     virtual Tick access(Addr addr, ReqType type, Tick now) = 0;
+
+    /**
+     * As access(), plus the RAS completion status. Fault-free
+     * backends (local DRAM) use this default — always kOk;
+     * RAS-capable backends override BOTH access() and accessEx()
+     * so either entry point observes faults.
+     */
+    virtual AccessResult
+    accessEx(Addr addr, ReqType type, Tick now)
+    {
+        return {access(addr, type, now), ras::Status::kOk};
+    }
+
+    /**
+     * Append this backend's (and its children's) RAS counters to
+     * @p out, one entry per fault-capable node. Fault-free
+     * backends contribute nothing.
+     */
+    virtual void
+    rasReport(std::vector<ras::RasReportEntry> *out) const
+    {
+        (void)out;
+    }
 
     /** Human-readable setup name ("Local", "CXL-A", ...). */
     virtual const std::string &name() const = 0;

@@ -22,7 +22,18 @@ class InterleavedBackend : public MemoryBackend
     InterleavedBackend(std::string name,
                        std::vector<BackendPtr> targets);
 
-    Tick access(Addr addr, ReqType type, Tick now) override;
+    Tick
+    access(Addr addr, ReqType type, Tick now) override
+    {
+        return accessEx(addr, type, now).done;
+    }
+    AccessResult accessEx(Addr addr, ReqType type, Tick now) override;
+    void
+    rasReport(std::vector<ras::RasReportEntry> *out) const override
+    {
+        for (const auto &t : targets_)
+            t->rasReport(out);
+    }
     const std::string &name() const override { return name_; }
 
     std::size_t ways() const { return targets_.size(); }

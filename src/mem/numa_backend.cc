@@ -15,8 +15,8 @@ NumaBackend::NumaBackend(std::string name, BackendPtr target,
 {
 }
 
-Tick
-NumaBackend::access(Addr addr, ReqType type, Tick now)
+AccessResult
+NumaBackend::accessEx(Addr addr, ReqType type, Tick now)
 {
     note(type);
     const bool read = isRead(type);
@@ -25,11 +25,16 @@ NumaBackend::access(Addr addr, ReqType type, Tick now)
     // Outbound: a small request for reads, the full line for writes.
     t = upi_.send(read ? kRequestBytes : kDataBytes,
                   link::Dir::kToDevice, t);
-    t = target_->access(addr, type, t);
+    const AccessResult r = target_->accessEx(addr, type, t);
+    if (r.status == ras::Status::kTimeout) {
+        // Nothing comes back over the hop — the timeout already
+        // includes the host's full retry wait.
+        return r;
+    }
     // Inbound: data for reads, an ack for writes.
     t = upi_.send(read ? kDataBytes : kAckBytes,
-                  link::Dir::kFromDevice, t);
-    return t + nsToTicks(cfg_.extraNs);
+                  link::Dir::kFromDevice, r.done);
+    return {t + nsToTicks(cfg_.extraNs), r.status};
 }
 
 }  // namespace cxlsim::mem

@@ -39,7 +39,17 @@ class NumaBackend : public MemoryBackend
     NumaBackend(std::string name, BackendPtr target,
                 const NumaHopConfig &cfg);
 
-    Tick access(Addr addr, ReqType type, Tick now) override;
+    Tick
+    access(Addr addr, ReqType type, Tick now) override
+    {
+        return accessEx(addr, type, now).done;
+    }
+    AccessResult accessEx(Addr addr, ReqType type, Tick now) override;
+    void
+    rasReport(std::vector<ras::RasReportEntry> *out) const override
+    {
+        target_->rasReport(out);
+    }
     const std::string &name() const override { return name_; }
 
     MemoryBackend &target() { return *target_; }

@@ -19,8 +19,8 @@ TieringBackend::TieringBackend(std::string name, BackendPtr fast,
                "page smaller than a line");
 }
 
-Tick
-TieringBackend::access(Addr addr, ReqType type, Tick now)
+AccessResult
+TieringBackend::accessEx(Addr addr, ReqType type, Tick now)
 {
     note(type);
     if (now >= nextEpoch_) {
@@ -39,7 +39,18 @@ TieringBackend::access(Addr addr, ReqType type, Tick now)
     }
 
     MemoryBackend &target = info.fast ? *fast_ : *slow_;
-    const Tick done = target.access(addr, type, now);
+    AccessResult r = target.accessEx(addr, type, now);
+    if (!info.fast && failover_ &&
+        r.status == ras::Status::kTimeout) {
+        // Slow tier unresponsive: serve the line from the fast
+        // tier (no residency change — the migration policy keeps
+        // owning placement) and record the degradation.
+        const AccessResult f = fast_->accessEx(addr, type, r.done);
+        ++rstats_.failovers;
+        rstats_.failoverExtraNs += ticksToNs(r.done - now);
+        r = f;
+    }
+    const Tick done = r.done;
 
     ++info.accesses;
     // Latency cost the core actually suffers: demand stalls
@@ -54,7 +65,16 @@ TieringBackend::access(Addr addr, ReqType type, Tick now)
         ++tstats_.fastAccesses;
     else
         ++tstats_.slowAccesses;
-    return done;
+    return r;
+}
+
+void
+TieringBackend::rasReport(std::vector<ras::RasReportEntry> *out) const
+{
+    if (rstats_.any())
+        out->push_back({name_ + "/failover", rstats_});
+    fast_->rasReport(out);
+    slow_->rasReport(out);
 }
 
 void

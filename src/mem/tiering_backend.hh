@@ -80,7 +80,17 @@ class TieringBackend : public MemoryBackend
     TieringBackend(std::string name, BackendPtr fast,
                    BackendPtr slow, const Config &cfg);
 
-    Tick access(Addr addr, ReqType type, Tick now) override;
+    /** Serve timed-out slow-tier requests from the fast tier. */
+    void enableFailover(bool on = true) { failover_ = on; }
+
+    Tick
+    access(Addr addr, ReqType type, Tick now) override
+    {
+        return accessEx(addr, type, now).done;
+    }
+    AccessResult accessEx(Addr addr, ReqType type, Tick now) override;
+    void rasReport(std::vector<ras::RasReportEntry> *out)
+        const override;
     const std::string &name() const override { return name_; }
 
     const TieringStats &tieringStats() const { return tstats_; }
@@ -106,6 +116,8 @@ class TieringBackend : public MemoryBackend
     std::uint64_t fastPageBudget_;
     Tick nextEpoch_;
     TieringStats tstats_;
+    bool failover_ = false;
+    ras::RasStats rstats_;
 };
 
 }  // namespace cxlsim::mem

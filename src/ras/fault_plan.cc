@@ -1,0 +1,182 @@
+#include "fault_plan.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace cxlsim::ras {
+
+namespace {
+
+/** Parse a double with full-token consumption. */
+double
+parseDouble(const std::string &tok, const std::string &val)
+{
+    char *end = nullptr;
+    const double v = std::strtod(val.c_str(), &end);
+    if (val.empty() || end != val.c_str() + val.size())
+        throw ConfigError("fault plan: malformed number '" + val +
+                          "' in token '" + tok + "'");
+    return v;
+}
+
+unsigned
+parseUnsigned(const std::string &tok, const std::string &val)
+{
+    const double v = parseDouble(tok, val);
+    if (v < 0.0 || v != static_cast<double>(
+                            static_cast<unsigned long long>(v)))
+        throw ConfigError("fault plan: expected a non-negative "
+                          "integer in token '" +
+                          tok + "'");
+    return static_cast<unsigned>(v);
+}
+
+/** Parse "500ns" / "20us" / "2ms" / bare ns into ticks. */
+Tick
+parseDuration(const std::string &tok, std::string val)
+{
+    double mult = kTicksPerNs;  // bare numbers are ns
+    if (val.size() > 2 && val.compare(val.size() - 2, 2, "ns") == 0) {
+        val.resize(val.size() - 2);
+    } else if (val.size() > 2 &&
+               val.compare(val.size() - 2, 2, "us") == 0) {
+        mult = kTicksPerUs;
+        val.resize(val.size() - 2);
+    } else if (val.size() > 2 &&
+               val.compare(val.size() - 2, 2, "ms") == 0) {
+        mult = kTicksPerMs;
+        val.resize(val.size() - 2);
+    }
+    const double v = parseDouble(tok, val);
+    if (v < 0.0)
+        throw ConfigError("fault plan: negative duration in '" + tok +
+                          "'");
+    return static_cast<Tick>(v * static_cast<double>(mult) + 0.5);
+}
+
+/** Parse "offline@2ms:dev1"-style scheduled-event tokens. */
+ScheduledFault
+parseEvent(const std::string &tok, FaultEventKind kind,
+           std::string rest)
+{
+    ScheduledFault ev;
+    ev.kind = kind;
+    const auto colon = rest.find(':');
+    if (colon != std::string::npos) {
+        std::string dev = rest.substr(colon + 1);
+        rest.resize(colon);
+        if (dev.rfind("dev", 0) != 0)
+            throw ConfigError(
+                "fault plan: expected ':devN' suffix in '" + tok +
+                "'");
+        ev.device = parseUnsigned(tok, dev.substr(3));
+    }
+    ev.at = parseDuration(tok, rest);
+    return ev;
+}
+
+}  // namespace
+
+std::vector<ScheduledFault>
+FaultPlan::eventsFor(unsigned device) const
+{
+    std::vector<ScheduledFault> out;
+    for (const auto &e : events)
+        if (e.device == device)
+            out.push_back(e);
+    std::sort(out.begin(), out.end(),
+              [](const ScheduledFault &a, const ScheduledFault &b) {
+                  return a.at < b.at;
+              });
+    return out;
+}
+
+void
+FaultPlan::validate() const
+{
+    link.validate();
+    media.validate();
+    health.validate();
+    hostRetry.validate();
+}
+
+FaultPlan
+parseFaultPlan(const std::string &spec)
+{
+    FaultPlan plan;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string tok = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (tok.empty())
+            continue;
+
+        const auto at = tok.find('@');
+        const auto eq = tok.find('=');
+        if (at != std::string::npos && (eq == std::string::npos ||
+                                        at < eq)) {
+            const std::string kind = tok.substr(0, at);
+            const std::string rest = tok.substr(at + 1);
+            if (kind == "offline")
+                plan.events.push_back(parseEvent(
+                    tok, FaultEventKind::kOffline, rest));
+            else if (kind == "degrade")
+                plan.events.push_back(parseEvent(
+                    tok, FaultEventKind::kDegrade, rest));
+            else if (kind == "recover")
+                plan.events.push_back(parseEvent(
+                    tok, FaultEventKind::kRecover, rest));
+            else
+                throw ConfigError(
+                    "fault plan: unknown event kind in '" + tok +
+                    "'");
+            continue;
+        }
+
+        if (eq == std::string::npos) {
+            if (tok == "failover") {
+                plan.failover = true;
+                continue;
+            }
+            throw ConfigError("fault plan: unknown token '" + tok +
+                              "'");
+        }
+        const std::string key = tok.substr(0, eq);
+        const std::string val = tok.substr(eq + 1);
+        if (key == "crc")
+            plan.link.crcErrorProb = parseDouble(tok, val);
+        else if (key == "replay")
+            plan.link.replayNs = parseDouble(tok, val);
+        else if (key == "maxreplay")
+            plan.link.maxReplays = parseUnsigned(tok, val);
+        else if (key == "ce")
+            plan.media.correctableProb = parseDouble(tok, val);
+        else if (key == "ue")
+            plan.media.uncorrectableProb = parseDouble(tok, val);
+        else if (key == "ecclat")
+            plan.media.scrubExtraNs = parseDouble(tok, val);
+        else if (key == "scrub")
+            plan.media.patrolIntervalUs =
+                ticksToNs(parseDuration(tok, val)) / 1000.0;
+        else if (key == "timeout")
+            plan.hostRetry.timeoutNs =
+                ticksToNs(parseDuration(tok, val));
+        else if (key == "budget")
+            plan.hostRetry.maxRetries = parseUnsigned(tok, val);
+        else if (key == "backoff")
+            plan.hostRetry.backoffNs =
+                ticksToNs(parseDuration(tok, val));
+        else
+            throw ConfigError("fault plan: unknown key '" + key +
+                              "' in token '" + tok + "'");
+    }
+    plan.validate();
+    return plan;
+}
+
+}  // namespace cxlsim::ras

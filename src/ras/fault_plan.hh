@@ -1,0 +1,91 @@
+/**
+ * @file
+ * FaultPlan: the user-facing description of a fault-injection
+ * experiment — stochastic per-device rates (link CRC, media ECC)
+ * plus deterministic scheduled events ("device 1 goes offline at
+ * t=2ms") and the host's recovery policy.
+ *
+ * A plan is parsed from a compact comma-separated spec, e.g.
+ *
+ *   crc=2e-4,ce=1e-4,ue=1e-6,scrub=100us,offline@2ms:dev1,failover
+ *
+ * Tokens:
+ *   crc=<p>          per-flit CRC error probability
+ *   replay=<ns>      LLR replay round-trip per retry
+ *   maxreplay=<n>    replay budget before link-down
+ *   ce=<p>           correctable media error probability
+ *   ue=<p>           uncorrectable (poison) probability
+ *   ecclat=<ns>      correction latency per CE
+ *   scrub=<dur>      patrol-scrub interval (ns/us/ms suffix)
+ *   timeout=<ns>     host completion timer
+ *   budget=<n>       host re-issue budget
+ *   backoff=<ns>     first host backoff (doubles per retry)
+ *   offline@<t>[:devN]   schedule device N offline at time t
+ *   degrade@<t>[:devN]   schedule forced degradation
+ *   recover@<t>[:devN]   schedule recovery
+ *   failover         route timed-out requests to a fallback backend
+ */
+
+#ifndef CXLSIM_RAS_FAULT_PLAN_HH
+#define CXLSIM_RAS_FAULT_PLAN_HH
+
+#include <string>
+#include <vector>
+
+#include "ras/ras.hh"
+#include "sim/types.hh"
+
+namespace cxlsim::ras {
+
+/** Kind of a deterministic scheduled fault event. */
+enum class FaultEventKind : std::uint8_t {
+    kOffline,  ///< device stops responding
+    kDegrade,  ///< device forced into Degraded
+    kRecover,  ///< device returns to Healthy
+};
+
+/** One scheduled event in device-local simulated time. */
+struct ScheduledFault
+{
+    Tick at = 0;
+    FaultEventKind kind = FaultEventKind::kOffline;
+    /** Target device index (interleaved setups; 0 = first/only). */
+    unsigned device = 0;
+};
+
+/** Complete fault-injection configuration for one experiment. */
+struct FaultPlan
+{
+    LinkFaultParams link;
+    MediaFaultParams media;
+    HealthParams health;
+    HostRetryParams hostRetry;
+    /** Scheduled events, any order; filtered per device. */
+    std::vector<ScheduledFault> events;
+    /** Wrap the backend so timed-out requests fail over to a
+     *  fallback (local DRAM) instead of surfacing Timeout. */
+    bool failover = false;
+
+    /** True when the plan perturbs the simulation at all. */
+    bool
+    enabled() const
+    {
+        return link.enabled() || media.enabled() || !events.empty();
+    }
+
+    /** Events targeting @p device, sorted by time. */
+    std::vector<ScheduledFault> eventsFor(unsigned device) const;
+
+    /** @throw ConfigError on any out-of-range parameter. */
+    void validate() const;
+};
+
+/**
+ * Parse a fault-plan spec string (see file comment for grammar).
+ * @throw ConfigError on unknown tokens or malformed values.
+ */
+FaultPlan parseFaultPlan(const std::string &spec);
+
+}  // namespace cxlsim::ras
+
+#endif  // CXLSIM_RAS_FAULT_PLAN_HH

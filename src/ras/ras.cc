@@ -1,0 +1,264 @@
+#include "ras.hh"
+
+#include "sim/logging.hh"
+#include "stats/json.hh"
+
+namespace cxlsim::ras {
+
+namespace {
+
+void
+checkProb(double p, const char *what)
+{
+    if (!(p >= 0.0 && p <= 1.0))
+        throw ConfigError(std::string(what) +
+                          " must be a probability in [0, 1], got " +
+                          std::to_string(p));
+}
+
+void
+checkNonNegative(double v, const char *what)
+{
+    if (!(v >= 0.0))
+        throw ConfigError(std::string(what) +
+                          " must be non-negative, got " +
+                          std::to_string(v));
+}
+
+}  // namespace
+
+bool
+RasStats::any() const
+{
+    return crcErrors || linkReplays || linkDownEvents || corrected ||
+           uncorrected || poisonedReturns || patrolScrubs ||
+           refusedRequests || hostRetries || hostTimeouts ||
+           failovers || degradedEntries || offlineEntries;
+}
+
+RasStats &
+RasStats::operator+=(const RasStats &o)
+{
+    crcErrors += o.crcErrors;
+    linkReplays += o.linkReplays;
+    linkDownEvents += o.linkDownEvents;
+    corrected += o.corrected;
+    uncorrected += o.uncorrected;
+    poisonedReturns += o.poisonedReturns;
+    patrolScrubs += o.patrolScrubs;
+    refusedRequests += o.refusedRequests;
+    hostRetries += o.hostRetries;
+    hostTimeouts += o.hostTimeouts;
+    failovers += o.failovers;
+    failoverExtraNs += o.failoverExtraNs;
+    degradedEntries += o.degradedEntries;
+    offlineEntries += o.offlineEntries;
+    return *this;
+}
+
+void
+RasStats::writeJson(stats::JsonWriter *w) const
+{
+    w->beginObject();
+    w->field("crc_errors", crcErrors);
+    w->field("link_replays", linkReplays);
+    w->field("link_down_events", linkDownEvents);
+    w->field("corrected", corrected);
+    w->field("uncorrected", uncorrected);
+    w->field("poisoned_returns", poisonedReturns);
+    w->field("patrol_scrubs", patrolScrubs);
+    w->field("refused_requests", refusedRequests);
+    w->field("host_retries", hostRetries);
+    w->field("host_timeouts", hostTimeouts);
+    w->field("failovers", failovers);
+    w->field("failover_extra_ns", failoverExtraNs);
+    w->field("degraded_entries", degradedEntries);
+    w->field("offline_entries", offlineEntries);
+    w->endObject();
+}
+
+void
+LinkFaultParams::validate() const
+{
+    checkProb(crcErrorProb, "link crc error probability");
+    checkNonNegative(replayNs, "link replay latency");
+    if (maxReplays == 0)
+        throw ConfigError("link replay budget must be >= 1");
+}
+
+void
+MediaFaultParams::validate() const
+{
+    checkProb(correctableProb, "correctable error probability");
+    checkProb(uncorrectableProb, "uncorrectable error probability");
+    checkNonNegative(scrubExtraNs, "ECC correction latency");
+    checkNonNegative(patrolIntervalUs, "patrol scrub interval");
+    checkNonNegative(patrolNs, "patrol scrub occupancy");
+}
+
+void
+HealthParams::validate() const
+{
+    checkProb(ewmaAlpha, "health EWMA alpha");
+    checkProb(degradeThreshold, "degrade threshold");
+    checkProb(timeoutThreshold, "timeout threshold");
+    if (degradeThreshold > timeoutThreshold)
+        throw ConfigError(
+            "degrade threshold must not exceed timeout threshold");
+    if (!(recoveryFraction > 0.0 && recoveryFraction <= 1.0))
+        throw ConfigError("health recovery fraction must be in (0, 1]");
+}
+
+void
+HostRetryParams::validate() const
+{
+    checkNonNegative(timeoutNs, "host completion timeout");
+    checkNonNegative(backoffNs, "host retry backoff");
+    if (!(backoffMult >= 1.0))
+        throw ConfigError("host backoff multiplier must be >= 1");
+}
+
+LinkFaultProcess::LinkFaultProcess(const LinkFaultParams &p,
+                                   std::uint64_t seed)
+    : params_(p), rng_(seed)
+{
+    params_.validate();
+}
+
+Tick
+LinkFaultProcess::flitPenalty(bool *lost)
+{
+    *lost = false;
+    if (params_.crcErrorProb <= 0.0)
+        return 0;
+    if (!rng_.chance(params_.crcErrorProb))
+        return 0;
+
+    // The flit failed CRC: the link-layer retry buffer replays it
+    // until it gets through or the replay budget is exhausted.
+    ++crcErrors_;
+    Tick extra = 0;
+    for (unsigned attempt = 0; attempt < params_.maxReplays;
+         ++attempt) {
+        ++replays_;
+        extra += nsToTicks(params_.replayNs);
+        if (!rng_.chance(params_.crcErrorProb))
+            return extra;  // replay succeeded
+        ++crcErrors_;
+    }
+    ++exhausted_;
+    *lost = true;
+    return extra;
+}
+
+void
+LinkFaultProcess::addTo(RasStats *out) const
+{
+    out->crcErrors += crcErrors_;
+    out->linkReplays += replays_;
+    out->linkDownEvents += exhausted_;
+}
+
+MediaFaultProcess::MediaFaultProcess(const MediaFaultParams &p,
+                                     std::uint64_t seed)
+    : params_(p), rng_(seed)
+{
+    params_.validate();
+}
+
+MediaOutcome
+MediaFaultProcess::sample()
+{
+    MediaOutcome o;
+    if (params_.uncorrectableProb > 0.0 &&
+        rng_.chance(params_.uncorrectableProb)) {
+        // Uncorrectable media error: the device returns the data
+        // with poison; no extra latency (the controller does not
+        // stall — detection rides the normal ECC pipeline).
+        o.poisoned = true;
+        return o;
+    }
+    if (params_.correctableProb > 0.0 &&
+        rng_.chance(params_.correctableProb)) {
+        o.corrected = true;
+        o.extraTicks = nsToTicks(params_.scrubExtraNs);
+    }
+    return o;
+}
+
+HealthMonitor::HealthMonitor(const HealthParams &p) : params_(p)
+{
+    params_.validate();
+}
+
+void
+HealthMonitor::transition(DeviceHealth next)
+{
+    if (next == state_)
+        return;
+    if (next == DeviceHealth::kDegraded)
+        ++degradedEntries_;
+    if (isDown(next))
+        ++offlineEntries_;
+    state_ = next;
+}
+
+void
+HealthMonitor::recordOutcome(bool error)
+{
+    if (forced_)
+        return;  // pinned by a scheduled fault until recover()
+    const double a = params_.ewmaAlpha;
+    errEwma_ = a * (error ? 1.0 : 0.0) + (1.0 - a) * errEwma_;
+
+    switch (state_) {
+      case DeviceHealth::kHealthy:
+        if (errEwma_ > params_.degradeThreshold)
+            transition(DeviceHealth::kDegraded);
+        break;
+      case DeviceHealth::kDegraded:
+        if (errEwma_ > params_.timeoutThreshold)
+            transition(DeviceHealth::kTimedOut);
+        else if (errEwma_ < params_.degradeThreshold *
+                                params_.recoveryFraction)
+            transition(DeviceHealth::kHealthy);
+        break;
+      case DeviceHealth::kTimedOut:
+        if (errEwma_ < params_.timeoutThreshold *
+                           params_.recoveryFraction)
+            transition(DeviceHealth::kDegraded);
+        break;
+      case DeviceHealth::kOffline:
+        break;  // only recover() leaves Offline
+    }
+}
+
+void
+HealthMonitor::noteLinkDown()
+{
+    if (forced_)
+        return;
+    // Replay exhaustion is a far stronger signal than one bad
+    // request: weight it as a burst of errors.
+    for (int i = 0; i < 8; ++i)
+        recordOutcome(true);
+    if (state_ == DeviceHealth::kHealthy)
+        transition(DeviceHealth::kDegraded);
+}
+
+void
+HealthMonitor::force(DeviceHealth h)
+{
+    forced_ = true;
+    transition(h);
+}
+
+void
+HealthMonitor::recover()
+{
+    forced_ = false;
+    errEwma_ = 0.0;
+    transition(DeviceHealth::kHealthy);
+}
+
+}  // namespace cxlsim::ras

@@ -10,9 +10,22 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 namespace cxlsim {
+
+/**
+ * Invalid user-supplied configuration (bad CLI flag, out-of-range
+ * profile parameter, malformed fault-plan spec). Thrown instead of
+ * aborting so front ends can print a usage message and exit
+ * cleanly; SIM_PANIC remains reserved for internal invariants.
+ */
+class ConfigError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /** Abort: an internal simulator invariant was violated (a bug). */
 [[noreturn]] void panicImpl(const char *file, int line,

@@ -1,0 +1,173 @@
+#include "json.hh"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace cxlsim::stats {
+
+void
+JsonWriter::separator()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return;  // value follows its key, no comma
+    }
+    if (!stack_.empty()) {
+        if (hasElem_.back())
+            out_ += ',';
+        hasElem_.back() = true;
+    }
+}
+
+void
+JsonWriter::escaped(std::string_view s)
+{
+    out_ += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out_ += "\\\"";
+            break;
+          case '\\':
+            out_ += "\\\\";
+            break;
+          case '\n':
+            out_ += "\\n";
+            break;
+          case '\t':
+            out_ += "\\t";
+            break;
+          case '\r':
+            out_ += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out_ += buf;
+            } else {
+                out_ += c;
+            }
+        }
+    }
+    out_ += '"';
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separator();
+    out_ += '{';
+    stack_.push_back(true);
+    hasElem_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    out_ += '}';
+    stack_.pop_back();
+    hasElem_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separator();
+    out_ += '[';
+    stack_.push_back(false);
+    hasElem_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    out_ += ']';
+    stack_.pop_back();
+    hasElem_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    separator();
+    escaped(k);
+    out_ += ':';
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    separator();
+    escaped(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string_view(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separator();
+    if (!std::isfinite(v)) {
+        out_ += "null";
+        return *this;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    separator();
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    separator();
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRId64, v);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(unsigned v)
+{
+    return value(static_cast<std::uint64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    return value(static_cast<std::int64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separator();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+}  // namespace cxlsim::stats

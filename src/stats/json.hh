@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for machine-readable CLI output
+ * (RAS reports, run summaries). No external dependency, emits
+ * deterministic key order (whatever order the caller writes), and
+ * escapes strings per RFC 8259.
+ */
+
+#ifndef CXLSIM_STATS_JSON_HH
+#define CXLSIM_STATS_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cxlsim::stats {
+
+/** Append-only JSON document builder. */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Object key; must be followed by a value or container. */
+    JsonWriter &key(std::string_view k);
+
+    JsonWriter &value(std::string_view v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(unsigned v);
+    JsonWriter &value(int v);
+    JsonWriter &value(bool v);
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    field(std::string_view k, const T &v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    /** Finished document (valid once all containers are closed). */
+    const std::string &str() const { return out_; }
+
+  private:
+    void separator();
+    void escaped(std::string_view s);
+
+    std::string out_;
+    /** One frame per open container: true = object, false = array. */
+    std::vector<bool> stack_;
+    /** Whether the current container already holds an element. */
+    std::vector<bool> hasElem_;
+    /** A key was just written; next value is its payload. */
+    bool pendingKey_ = false;
+};
+
+}  // namespace cxlsim::stats
+
+#endif  // CXLSIM_STATS_JSON_HH

@@ -731,7 +731,7 @@ byName(const std::string &name)
     for (const auto &w : suite())
         if (w.name == name)
             return w;
-    SIM_FATAL("unknown workload: " + name);
+    throw ConfigError("unknown workload: " + name);
 }
 
 std::vector<std::string>

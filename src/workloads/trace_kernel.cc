@@ -24,8 +24,9 @@ parseTrace(std::istream &in)
             std::string hex;
             ls >> hex;
             if (hex.empty())
-                SIM_FATAL("trace line " + std::to_string(lineno) +
-                          ": missing address");
+                throw ConfigError(
+                    "trace line " + std::to_string(lineno) +
+                    ": missing address");
             op.addr = static_cast<Addr>(
                 std::stoull(hex, nullptr, 16));
             op.kind = kind == "L" ? TraceOp::Kind::kLoad
@@ -36,11 +37,13 @@ parseTrace(std::istream &in)
         } else if (kind == "C") {
             op.kind = TraceOp::Kind::kCompute;
             if (!(ls >> op.uops))
-                SIM_FATAL("trace line " + std::to_string(lineno) +
-                          ": missing uop count");
+                throw ConfigError(
+                    "trace line " + std::to_string(lineno) +
+                    ": missing uop count");
         } else {
-            SIM_FATAL("trace line " + std::to_string(lineno) +
-                      ": unknown record '" + kind + "'");
+            throw ConfigError(
+                "trace line " + std::to_string(lineno) +
+                ": unknown record '" + kind + "'");
         }
         ops.push_back(op);
     }

@@ -35,7 +35,7 @@ struct TraceOp
     unsigned uops = 0;
 };
 
-/** Parse a trace stream; throws via SIM_FATAL on malformed lines. */
+/** Parse a trace stream; throws ConfigError on malformed lines. */
 std::vector<TraceOp> parseTrace(std::istream &in);
 
 /** Kernel replaying a parsed trace (optionally several times). */

@@ -11,6 +11,7 @@
 #include "core/mlc.hh"
 #include "core/platform.hh"
 #include "core/slowdown.hh"
+#include "sim/logging.hh"
 #include "workloads/suite.hh"
 
 using namespace cxlsim;
@@ -234,21 +235,20 @@ TEST(Mio, UtilizationAgainstPeak)
     EXPECT_LE(r.utilization, 1.1);
 }
 
-TEST(PlatformDeath, UnknownServerFatals)
+TEST(PlatformDeath, UnknownServerThrows)
 {
-    EXPECT_EXIT(Platform("XEON9000", "Local"),
-                ::testing::ExitedWithCode(1), "unknown server");
+    EXPECT_THROW(Platform("XEON9000", "Local"),
+                 cxlsim::ConfigError);
 }
 
-TEST(PlatformDeath, UnknownMemoryFatals)
+TEST(PlatformDeath, UnknownMemoryThrows)
 {
     Platform p("EMR2S", "DDR9");
-    EXPECT_EXIT(p.makeBackend(1), ::testing::ExitedWithCode(1),
-                "unknown memory setup");
+    EXPECT_THROW(p.makeBackend(1), cxlsim::ConfigError);
 }
 
-TEST(SuiteDeath, UnknownWorkloadFatals)
+TEST(SuiteDeath, UnknownWorkloadThrows)
 {
-    EXPECT_EXIT(workloads::byName("586.quake_r"),
-                ::testing::ExitedWithCode(1), "unknown workload");
+    EXPECT_THROW(workloads::byName("586.quake_r"),
+                 cxlsim::ConfigError);
 }

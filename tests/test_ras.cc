@@ -1,0 +1,295 @@
+/**
+ * @file
+ * RAS subsystem tests: the FaultPlan spec parser, parameter
+ * validation, the device-health state machine, and the end-to-end
+ * degradation semantics the host layers promise — poison surfaces
+ * only as demand machine checks, host retries stay within budget,
+ * failover always completes, and a zero-rate plan is bit-identical
+ * to no plan at all.
+ *
+ * The LinkFaultsStressAllLayers test doubles as the sanitizer
+ * stress workload: it drives every fault path (CRC replay,
+ * link-down, CE/UE, patrol scrub, scheduled offline/recover,
+ * failover) through the interleaved dual-device setup and is the
+ * primary target of the -DCXLSIM_SANITIZE=address,undefined build.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/platform.hh"
+#include "core/slowdown.hh"
+#include "cxl/device_profile.hh"
+#include "mem/cxl_backend.hh"
+#include "ras/fault_plan.hh"
+#include "ras/ras.hh"
+#include "sim/logging.hh"
+#include "workloads/suite.hh"
+
+using namespace cxlsim;
+using melody::Platform;
+
+namespace {
+
+workloads::WorkloadProfile
+smallWorkload(const char *name = "605.mcf_s", unsigned blocks = 900)
+{
+    workloads::WorkloadProfile w = workloads::byName(name);
+    w.blocksPerCore = blocks;
+    return w;
+}
+
+cpu::RunResult
+runWithPlan(const char *server, const char *memory,
+            const std::string &spec, std::uint64_t seed = 11)
+{
+    Platform plat(server, memory);
+    if (!spec.empty())
+        plat.setFaultPlan(ras::parseFaultPlan(spec));
+    return melody::runWorkload(smallWorkload(), plat, seed);
+}
+
+}  // namespace
+
+TEST(FaultPlanParser, FullSpecRoundTrips)
+{
+    const ras::FaultPlan p = ras::parseFaultPlan(
+        "crc=2e-4,replay=60,maxreplay=4,ce=1e-4,ue=1e-6,ecclat=25,"
+        "scrub=100us,timeout=1500,budget=3,backoff=200,"
+        "offline@2ms:dev1,degrade@1ms,recover@3ms:dev1,failover");
+    EXPECT_DOUBLE_EQ(p.link.crcErrorProb, 2e-4);
+    EXPECT_DOUBLE_EQ(p.link.replayNs, 60.0);
+    EXPECT_EQ(p.link.maxReplays, 4u);
+    EXPECT_DOUBLE_EQ(p.media.correctableProb, 1e-4);
+    EXPECT_DOUBLE_EQ(p.media.uncorrectableProb, 1e-6);
+    EXPECT_DOUBLE_EQ(p.media.scrubExtraNs, 25.0);
+    EXPECT_DOUBLE_EQ(p.media.patrolIntervalUs, 100.0);
+    EXPECT_DOUBLE_EQ(p.hostRetry.timeoutNs, 1500.0);
+    EXPECT_EQ(p.hostRetry.maxRetries, 3u);
+    EXPECT_DOUBLE_EQ(p.hostRetry.backoffNs, 200.0);
+    EXPECT_TRUE(p.failover);
+    EXPECT_TRUE(p.enabled());
+
+    // Events filter per device and come back time-sorted.
+    ASSERT_EQ(p.events.size(), 3u);
+    const auto dev1 = p.eventsFor(1);
+    ASSERT_EQ(dev1.size(), 2u);
+    EXPECT_EQ(dev1[0].kind, ras::FaultEventKind::kOffline);
+    EXPECT_EQ(dev1[0].at, 2 * kTicksPerMs);
+    EXPECT_EQ(dev1[1].kind, ras::FaultEventKind::kRecover);
+    EXPECT_EQ(dev1[1].at, 3 * kTicksPerMs);
+    const auto dev0 = p.eventsFor(0);
+    ASSERT_EQ(dev0.size(), 1u);
+    EXPECT_EQ(dev0[0].kind, ras::FaultEventKind::kDegrade);
+}
+
+TEST(FaultPlanParser, EmptySpecDisablesEverything)
+{
+    const ras::FaultPlan p = ras::parseFaultPlan("");
+    EXPECT_FALSE(p.enabled());
+    EXPECT_FALSE(p.failover);
+    EXPECT_TRUE(p.events.empty());
+}
+
+TEST(FaultPlanParser, RejectsMalformedSpecs)
+{
+    EXPECT_THROW(ras::parseFaultPlan("bogus=1"), ConfigError);
+    EXPECT_THROW(ras::parseFaultPlan("nonsense"), ConfigError);
+    EXPECT_THROW(ras::parseFaultPlan("crc=abc"), ConfigError);
+    EXPECT_THROW(ras::parseFaultPlan("crc=2"), ConfigError);   // p > 1
+    EXPECT_THROW(ras::parseFaultPlan("budget=1.5"), ConfigError);
+    EXPECT_THROW(ras::parseFaultPlan("scrub=-5us"), ConfigError);
+    EXPECT_THROW(ras::parseFaultPlan("explode@1ms"), ConfigError);
+    EXPECT_THROW(ras::parseFaultPlan("offline@2ms:gpu1"),
+                 ConfigError);
+    EXPECT_THROW(ras::parseFaultPlan("offline@oops"), ConfigError);
+}
+
+TEST(Validation, FaultParamBoundsAreChecked)
+{
+    ras::LinkFaultParams link;
+    link.crcErrorProb = -0.1;
+    EXPECT_THROW(link.validate(), ConfigError);
+    link.crcErrorProb = 0.1;
+    link.maxReplays = 0;
+    EXPECT_THROW(link.validate(), ConfigError);
+
+    ras::MediaFaultParams media;
+    media.uncorrectableProb = 1.5;
+    EXPECT_THROW(media.validate(), ConfigError);
+
+    ras::HealthParams health;
+    health.degradeThreshold = 0.5;
+    health.timeoutThreshold = 0.1;
+    EXPECT_THROW(health.validate(), ConfigError);
+
+    ras::HostRetryParams retry;
+    retry.backoffMult = 0.5;
+    EXPECT_THROW(retry.validate(), ConfigError);
+}
+
+TEST(Validation, DeviceProfileBoundsAreChecked)
+{
+    cxl::DeviceProfile p = cxl::cxlA();
+    EXPECT_NO_THROW(p.validate());
+
+    p.hiccups.baseProb = 1.5;
+    EXPECT_THROW(p.validate(), ConfigError);
+
+    p = cxl::cxlB();
+    p.dramChannels = 0;
+    EXPECT_THROW(p.validate(), ConfigError);
+
+    p = cxl::cxlC();
+    p.thermal.throttleProb = -0.25;
+    EXPECT_THROW(p.validate(), ConfigError);
+
+    // A bad profile must fail loudly at backend construction.
+    mem::CxlBackendConfig cfg;
+    cfg.profile = cxl::cxlD();
+    cfg.profile.queueCapacity = 0;
+    EXPECT_THROW(mem::CxlBackend be(cfg), ConfigError);
+}
+
+TEST(HealthMonitor, EwmaDrivesDegradeAndTimeout)
+{
+    ras::HealthParams hp;  // defaults: alpha .02, thresholds .05/.25
+    ras::HealthMonitor m(hp);
+    EXPECT_EQ(m.state(), ras::DeviceHealth::kHealthy);
+
+    // A burst of errors walks Healthy -> Degraded -> TimedOut.
+    for (int i = 0; i < 20; ++i)
+        m.recordOutcome(true);
+    EXPECT_EQ(m.state(), ras::DeviceHealth::kTimedOut);
+    EXPECT_EQ(m.degradedEntries(), 1u);
+    EXPECT_EQ(m.offlineEntries(), 1u);
+
+    // Sustained clean traffic recovers with hysteresis: back through
+    // Degraded, then Healthy once the EWMA decays far enough.
+    for (int i = 0; i < 400; ++i)
+        m.recordOutcome(false);
+    EXPECT_EQ(m.state(), ras::DeviceHealth::kHealthy);
+}
+
+TEST(HealthMonitor, ForcedStatePinsUntilRecover)
+{
+    ras::HealthMonitor m(ras::HealthParams{});
+    m.force(ras::DeviceHealth::kOffline);
+    EXPECT_TRUE(ras::isDown(m.state()));
+    // Clean outcomes must NOT revive an administratively-offline
+    // device — only an explicit recover event does.
+    for (int i = 0; i < 1000; ++i)
+        m.recordOutcome(false);
+    EXPECT_EQ(m.state(), ras::DeviceHealth::kOffline);
+    m.recover();
+    EXPECT_EQ(m.state(), ras::DeviceHealth::kHealthy);
+    EXPECT_DOUBLE_EQ(m.errorRate(), 0.0);
+}
+
+TEST(Ras, ZeroRatePlanIsBitIdenticalToNoPlan)
+{
+    // Arming an all-zero FaultPlan must not perturb a single tick:
+    // the fault processes are never constructed and no RNG stream
+    // is ever advanced.
+    const cpu::RunResult a = runWithPlan("EMR2S", "CXL-B", "");
+    Platform armed("EMR2S", "CXL-B");
+    armed.setFaultPlan(ras::FaultPlan{});
+    const cpu::RunResult b =
+        melody::runWorkload(smallWorkload(), armed, 11);
+
+    EXPECT_EQ(a.wallTicks, b.wallTicks);
+    EXPECT_EQ(a.counters.cycles, b.counters.cycles);
+    EXPECT_EQ(a.counters.instructions, b.counters.instructions);
+    EXPECT_EQ(a.backendStats.reads, b.backendStats.reads);
+    EXPECT_EQ(a.backendStats.writes, b.backendStats.writes);
+    EXPECT_TRUE(a.ras.empty());
+    EXPECT_TRUE(b.ras.empty());
+}
+
+TEST(Ras, PoisonSurfacesOnlyAsDemandMachineChecks)
+{
+    const cpu::RunResult r =
+        runWithPlan("EMR2S", "CXL-B", "ue=1e-2");
+    const ras::RasStats total = r.rasTotal();
+
+    // Poison reached the core on demand loads...
+    EXPECT_GT(r.counters.machineChecks, 0u);
+    // ...never as a retry or timeout (UE data still arrives)...
+    EXPECT_EQ(total.hostRetries, 0u);
+    EXPECT_EQ(total.hostTimeouts, 0u);
+    EXPECT_EQ(r.counters.demandTimeouts, 0u);
+    // ...and every poisoned return is accounted for as either a
+    // demand machine check, a dropped prefetch, or an RFO (which
+    // installs for write without architectural consumption).
+    EXPECT_GE(total.poisonedReturns,
+              r.counters.machineChecks + r.counters.prefetchDrops);
+    EXPECT_GT(total.uncorrected, 0u);
+}
+
+TEST(Ras, HostRetryObeysBudget)
+{
+    // Device offline from t=0, no failover: every request burns its
+    // full re-issue budget and then times out.
+    const cpu::RunResult r = runWithPlan(
+        "EMR2S", "CXL-B",
+        "offline@0ns,budget=2,timeout=500,backoff=100");
+    const ras::RasStats total = r.rasTotal();
+
+    EXPECT_GT(total.refusedRequests, 0u);
+    EXPECT_GT(total.hostTimeouts, 0u);
+    // Exactly maxRetries re-issues per exhausted request — the
+    // budget is never exceeded.
+    EXPECT_EQ(total.hostRetries, 2 * total.hostTimeouts);
+    EXPECT_GT(r.counters.demandTimeouts, 0u);
+    // The workload still ran to completion (forward progress even
+    // with a dead device).
+    EXPECT_GT(r.wallTicks, 0u);
+}
+
+TEST(Ras, FailoverCompletesWithoutTimeoutsReachingTheCore)
+{
+    const cpu::RunResult r = runWithPlan(
+        "EMR2S", "CXL-B",
+        "offline@0ns,budget=1,timeout=500,failover");
+    const ras::RasStats total = r.rasTotal();
+
+    // Every exhausted request was re-served by the fallback tier;
+    // the core never observed a timeout or poison.
+    EXPECT_GT(total.failovers, 0u);
+    EXPECT_GT(total.failoverExtraNs, 0.0);
+    EXPECT_EQ(r.counters.demandTimeouts, 0u);
+    EXPECT_EQ(r.counters.machineChecks, 0u);
+    EXPECT_GT(r.wallTicks, 0u);
+
+    // The report names the failover node alongside the device.
+    bool sawFailoverNode = false;
+    for (const auto &e : r.ras)
+        if (e.name.find("Failover") != std::string::npos)
+            sawFailoverNode = true;
+    EXPECT_TRUE(sawFailoverNode);
+}
+
+TEST(Ras, LinkFaultsStressAllLayers)
+{
+    // Sanitizer stress: aggressive rates + scheduled events over the
+    // interleaved dual-device setup exercise CRC replay, link-down
+    // escalation, CE/UE, patrol scrub, per-device offline/recover
+    // and failover in one run.
+    Platform plat("EMR2S", "CXL-Dx2");
+    plat.setFaultPlan(ras::parseFaultPlan(
+        "crc=5e-3,replay=40,maxreplay=3,ce=5e-3,ue=1e-4,scrub=2us,"
+        "offline@4us:dev0,recover@10us:dev0,degrade@5us:dev1,"
+        "budget=2,timeout=800,failover"));
+    const cpu::RunResult r =
+        melody::runWorkload(smallWorkload("603.bwaves_s", 3000), plat,
+                            23);
+    const ras::RasStats total = r.rasTotal();
+
+    EXPECT_GT(total.crcErrors, 0u);
+    EXPECT_GT(total.linkReplays, 0u);
+    EXPECT_GT(total.corrected, 0u);
+    EXPECT_GT(total.patrolScrubs, 0u);
+    EXPECT_GT(total.offlineEntries, 0u);
+    EXPECT_GT(r.wallTicks, 0u);
+}

@@ -10,9 +10,11 @@
  *   melody period <wl> <mem> [N]        period-based breakdown
  *   melody advise <wl> <mem>            §5.7 tiering advice
  *   melody batch <srv> <mem> [stride]   whole-suite slowdowns, CSV
+ *   melody ras <wl> <srv> <mem> [plan]  fault-injection run, JSON
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -20,9 +22,12 @@
 #include "core/mlc.hh"
 #include "core/platform.hh"
 #include "core/slowdown.hh"
+#include "ras/fault_plan.hh"
+#include "sim/logging.hh"
 #include "spa/advisor.hh"
 #include "spa/breakdown.hh"
 #include "spa/period.hh"
+#include "stats/json.hh"
 #include "stats/table.hh"
 #include "workloads/suite.hh"
 
@@ -44,10 +49,26 @@ usage()
         "  melody period <workload> <memory> [periods]\n"
         "  melody advise <workload> <memory>\n"
         "  melody batch <server> <memory> [stride]\n"
+        "  melody ras <workload> <server> <memory> [faultplan]\n"
         "servers: SPR2S EMR2S EMR2S' SKX2S SKX8S\n"
         "memory:  Local NUMA NUMA-140ns NUMA-190ns NUMA-410ns "
-        "CXL-A..D CXL-X+NUMA CXL-X+Switch[2] CXL-Dx2\n");
+        "CXL-A..D CXL-X+NUMA CXL-X+Switch[2] CXL-Dx2\n"
+        "faultplan: crc=<p>,ce=<p>,ue=<p>,scrub=<dur>,"
+        "offline@<t>[:devN],failover,... (see src/ras/fault_plan.hh)\n");
     return 2;
+}
+
+/** Strict numeric argument parsing: reject trailing garbage. */
+unsigned
+parseUnsignedArg(const char *s, const char *what)
+{
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(s, &end, 10);
+    if (end == s || *end != '\0')
+        throw ConfigError(std::string(what) +
+                          " must be a non-negative integer, got '" +
+                          s + "'");
+    return static_cast<unsigned>(v);
 }
 
 int
@@ -228,10 +249,50 @@ cmdAdvise(const std::string &wl, const std::string &mem)
     return 0;
 }
 
-}  // namespace
+int
+cmdRas(const std::string &wl, const std::string &srv,
+       const std::string &mem, const std::string &planSpec)
+{
+    const auto &w = workloads::byName(wl);
+    melody::Platform plat(srv, mem);
+    ras::FaultPlan plan;
+    if (!planSpec.empty())
+        plan = ras::parseFaultPlan(planSpec);
+    plat.setFaultPlan(plan);
+
+    const auto r = melody::runWorkload(w, plat, 1);
+    const ras::RasStats total = r.rasTotal();
+
+    stats::JsonWriter j;
+    j.beginObject();
+    j.field("workload", wl);
+    j.field("server", srv);
+    j.field("memory", mem);
+    j.field("fault_plan", planSpec);
+    j.field("wall_ms", r.seconds() * 1e3);
+    j.field("backend_gbps", r.backendGBps());
+    j.field("machine_checks", r.counters.machineChecks);
+    j.field("demand_timeouts", r.counters.demandTimeouts);
+    j.field("prefetch_drops", r.counters.prefetchDrops);
+    j.key("ras_total");
+    total.writeJson(&j);
+    j.key("nodes");
+    j.beginArray();
+    for (const auto &e : r.ras) {
+        j.beginObject();
+        j.field("name", e.name);
+        j.key("stats");
+        e.stats.writeJson(&j);
+        j.endObject();
+    }
+    j.endArray();
+    j.endObject();
+    std::printf("%s\n", j.str().c_str());
+    return 0;
+}
 
 int
-main(int argc, char **argv)
+dispatch(int argc, char **argv)
 {
     if (argc < 2)
         return usage();
@@ -248,11 +309,34 @@ main(int argc, char **argv)
         return cmdSweep(argv[2]);
     if (cmd == "period" && argc >= 4)
         return cmdPeriod(argv[2], argv[3],
-                         argc > 4 ? std::stoul(argv[4]) : 16);
+                         argc > 4 ? parseUnsignedArg(argv[4],
+                                                     "periods")
+                                  : 16);
     if (cmd == "advise" && argc == 4)
         return cmdAdvise(argv[2], argv[3]);
     if (cmd == "batch" && argc >= 4)
         return cmdBatch(argv[2], argv[3],
-                        argc > 4 ? std::stoul(argv[4]) : 1);
+                        argc > 4 ? parseUnsignedArg(argv[4],
+                                                    "stride")
+                                 : 1);
+    if (cmd == "ras" && (argc == 5 || argc == 6))
+        return cmdRas(argv[2], argv[3], argv[4],
+                      argc == 6 ? argv[5] : "");
     return usage();
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return dispatch(argc, argv);
+    } catch (const ConfigError &e) {
+        // User-input errors end with a message + usage, never an
+        // abort: scripts can distinguish bad flags (exit 2) from
+        // simulator bugs (SIM_PANIC aborts).
+        std::fprintf(stderr, "melody: error: %s\n", e.what());
+        return usage();
+    }
 }
