@@ -16,6 +16,7 @@
 #ifndef MELODY_CORE_MIO_HH
 #define MELODY_CORE_MIO_HH
 
+#include <cstdint>
 #include <memory>
 
 #include "cpu/profile.hh"

@@ -13,6 +13,7 @@
 #ifndef MELODY_CORE_MLC_HH
 #define MELODY_CORE_MLC_HH
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 

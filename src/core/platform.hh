@@ -21,6 +21,7 @@
 #ifndef MELODY_CORE_PLATFORM_HH
 #define MELODY_CORE_PLATFORM_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
 

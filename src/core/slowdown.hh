@@ -10,6 +10,7 @@
 #ifndef MELODY_CORE_SLOWDOWN_HH
 #define MELODY_CORE_SLOWDOWN_HH
 
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>

@@ -26,6 +26,7 @@
 #ifndef CXLSIM_CPU_CACHE_HH
 #define CXLSIM_CPU_CACHE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <cstdlib>
 #include <memory>

@@ -25,6 +25,7 @@
 #ifndef CXLSIM_CPU_CORE_HH
 #define CXLSIM_CPU_CORE_HH
 
+#include <cstdint>
 #include <deque>
 #include <vector>
 

@@ -14,6 +14,7 @@
 #ifndef CXLSIM_CPU_HIERARCHY_HH
 #define CXLSIM_CPU_HIERARCHY_HH
 
+#include <cstdint>
 #include <memory>
 #include <queue>
 #include <vector>

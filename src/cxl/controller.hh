@@ -15,6 +15,7 @@
 #ifndef CXLSIM_CXL_CONTROLLER_HH
 #define CXLSIM_CXL_CONTROLLER_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -37,8 +38,10 @@ struct ControllerStats
     double hiccupNs = 0.0;
 };
 
-/** Completion tick + RAS status of one serviced request. */
-struct ServiceOutcome
+/** Completion tick + RAS status of one serviced request.
+ *  [[nodiscard]] for the same reason as mem::AccessResult: a
+ *  dropped outcome is a silently-ignored fault. */
+struct [[nodiscard]] ServiceOutcome
 {
     Tick done;
     ras::Status status;

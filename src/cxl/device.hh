@@ -9,6 +9,7 @@
 #ifndef CXLSIM_CXL_DEVICE_HH
 #define CXLSIM_CXL_DEVICE_HH
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 

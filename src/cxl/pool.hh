@@ -23,6 +23,7 @@
 #ifndef CXLSIM_CXL_POOL_HH
 #define CXLSIM_CXL_POOL_HH
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 

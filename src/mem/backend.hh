@@ -25,8 +25,11 @@
 
 namespace cxlsim::mem {
 
-/** Completion tick + RAS status of one backend access. */
-struct AccessResult
+/** Completion tick + RAS status of one backend access. The struct
+ *  is [[nodiscard]]: dropping it silently swallows poison/timeout
+ *  (melody-lint's ras-ignored-status rule rejects the (void) escape
+ *  hatch too). */
+struct [[nodiscard]] AccessResult
 {
     Tick done;
     ras::Status status = ras::Status::kOk;

@@ -6,7 +6,9 @@
 #ifndef CXLSIM_MEM_CXL_BACKEND_HH
 #define CXLSIM_MEM_CXL_BACKEND_HH
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "cxl/device.hh"
 #include "mem/backend.hh"

@@ -8,6 +8,7 @@
 #ifndef CXLSIM_MEM_INTERLEAVED_BACKEND_HH
 #define CXLSIM_MEM_INTERLEAVED_BACKEND_HH
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

@@ -14,6 +14,7 @@
 #define CXLSIM_MEM_JITTER_HH
 
 #include <algorithm>
+#include <cstdint>
 
 #include "sim/rng.hh"
 #include "sim/types.hh"

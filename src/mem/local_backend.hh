@@ -7,6 +7,7 @@
 #ifndef CXLSIM_MEM_LOCAL_BACKEND_HH
 #define CXLSIM_MEM_LOCAL_BACKEND_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>

@@ -10,7 +10,9 @@
 #ifndef CXLSIM_MEM_NUMA_BACKEND_HH
 #define CXLSIM_MEM_NUMA_BACKEND_HH
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "link/link.hh"
 #include "mem/backend.hh"

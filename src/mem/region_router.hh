@@ -12,6 +12,7 @@
 #ifndef CXLSIM_MEM_REGION_ROUTER_HH
 #define CXLSIM_MEM_REGION_ROUTER_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

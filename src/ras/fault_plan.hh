@@ -29,6 +29,7 @@
 #ifndef CXLSIM_RAS_FAULT_PLAN_HH
 #define CXLSIM_RAS_FAULT_PLAN_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -84,7 +85,7 @@ struct FaultPlan
  * Parse a fault-plan spec string (see file comment for grammar).
  * @throw ConfigError on unknown tokens or malformed values.
  */
-FaultPlan parseFaultPlan(const std::string &spec);
+[[nodiscard]] FaultPlan parseFaultPlan(const std::string &spec);
 
 }  // namespace cxlsim::ras
 

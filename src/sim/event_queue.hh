@@ -17,6 +17,7 @@
 #ifndef CXLSIM_SIM_EVENT_QUEUE_HH
 #define CXLSIM_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -36,6 +36,11 @@ class WorkerPool
     static WorkerPool &
     instance()
     {
+        // The pool is the one sanctioned process-wide singleton: it
+        // owns no simulation state (chunks are claimed through an
+        // atomic cursor, results land in caller-owned memory), so
+        // determinism is unaffected by which worker runs a chunk.
+        // lint:allow(det-static-local)
         static WorkerPool pool;
         return pool;
     }

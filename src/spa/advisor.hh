@@ -14,6 +14,8 @@
 #ifndef CXLSIM_SPA_ADVISOR_HH
 #define CXLSIM_SPA_ADVISOR_HH
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/platform.hh"

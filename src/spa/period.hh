@@ -15,6 +15,7 @@
 #ifndef CXLSIM_SPA_PERIOD_HH
 #define CXLSIM_SPA_PERIOD_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "cpu/core.hh"

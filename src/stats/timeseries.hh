@@ -8,6 +8,7 @@
 #ifndef CXLSIM_STATS_TIMESERIES_HH
 #define CXLSIM_STATS_TIMESERIES_HH
 
+#include <cstddef>
 #include <vector>
 
 #include "sim/types.hh"

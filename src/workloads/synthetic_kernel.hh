@@ -15,6 +15,9 @@
 #ifndef CXLSIM_WORKLOADS_SYNTHETIC_KERNEL_HH
 #define CXLSIM_WORKLOADS_SYNTHETIC_KERNEL_HH
 
+#include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 

@@ -17,6 +17,8 @@
 #ifndef CXLSIM_WORKLOADS_TRACE_KERNEL_HH
 #define CXLSIM_WORKLOADS_TRACE_KERNEL_HH
 
+#include <cstddef>
+#include <cstdint>
 #include <istream>
 #include <string>
 #include <vector>

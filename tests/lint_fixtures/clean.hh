@@ -1,0 +1,20 @@
+// Fixture: a well-formed header — guard matches the convention and
+// every std:: type's header is included directly.
+#ifndef CXLSIM_CLEAN_FIXTURE_HH
+#define CXLSIM_CLEAN_FIXTURE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Sample
+{
+    std::string label;
+    std::vector<std::uint64_t> values;
+};
+
+}  // namespace fixture
+
+#endif  // CXLSIM_CLEAN_FIXTURE_HH

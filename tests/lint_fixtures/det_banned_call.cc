@@ -1,0 +1,32 @@
+// Fixture: det-banned-call must fire on raw entropy / wall-clock
+// sources. Linted under the virtual path src/cxl/fixture.cc.
+#include <cstdlib>
+
+namespace fixture {
+
+int
+entropy()
+{
+    return rand();  // VIOLATION line 10: rand()
+}
+
+unsigned long
+seedFromClock()
+{
+    std::mt19937 gen(12345);  // VIOLATION line 16: mt19937
+    return gen();
+}
+
+// A member called rand() is somebody's API, not libc: no finding.
+struct HasRandMember
+{
+    int rand() const;
+};
+
+int
+fine(const HasRandMember &m)
+{
+    return m.rand();
+}
+
+}  // namespace fixture

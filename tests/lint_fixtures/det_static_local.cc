@@ -1,0 +1,30 @@
+// Fixture: det-static-local fires on mutable function-local
+// statics only (virtual path src/sim/fixture.cc).
+namespace fixture {
+
+int
+counterBad()
+{
+    static int calls = 0;  // VIOLATION line 8
+    return ++calls;
+}
+
+int
+constantFine()
+{
+    static const int kTableSize = 64;
+    static constexpr double kScale = 2.0;
+    return static_cast<int>(kTableSize * kScale);
+}
+
+// Namespace-scope state is visible, reviewable and seeded
+// explicitly — not this rule's business.
+static int fileScoped_ = 0;
+
+int
+touch()
+{
+    return ++fileScoped_;
+}
+
+}  // namespace fixture

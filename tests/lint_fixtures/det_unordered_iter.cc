@@ -1,0 +1,30 @@
+// Fixture: det-unordered-iter fires on range-for over a hash
+// container in an output path (virtual path src/stats/fixture.cc).
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+std::unordered_map<std::uint64_t, double> table_;
+
+double
+emitAll()
+{
+    double sum = 0.0;
+    for (const auto &[k, v] : table_)  // VIOLATION line 15
+        sum += v;
+    return sum;
+}
+
+// Iterating a vector is ordered: no finding.
+double
+fine(const std::vector<double> &v)
+{
+    double sum = 0.0;
+    for (double d : v)
+        sum += d;
+    return sum;
+}
+
+}  // namespace fixture

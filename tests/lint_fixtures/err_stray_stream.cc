@@ -1,0 +1,22 @@
+// Fixture: err-stray-stream fires on stream writes in library code
+// (virtual path src/spa/fixture.cc).
+#include <cstdio>
+#include <iostream>
+
+namespace fixture {
+
+void
+debugDump(double v)
+{
+    std::cout << "value=" << v << "\n";  // VIOLATION line 11
+    printf("value=%f\n", v);             // VIOLATION line 12
+}
+
+// Formatting into a caller-owned buffer is fine.
+int
+format(char *buf, unsigned n, double v)
+{
+    return std::snprintf(buf, n, "%f", v);
+}
+
+}  // namespace fixture

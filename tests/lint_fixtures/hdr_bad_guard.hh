@@ -1,0 +1,10 @@
+// Fixture: hdr-guard fires when the #ifndef/#define names disagree
+// (virtual path src/sim/fixture.hh).
+#ifndef CXLSIM_FIXTURE_HH
+#define CXLSIM_FIXTURE_TYPO_HH
+
+namespace fixture {
+struct Empty {};
+}  // namespace fixture
+
+#endif

@@ -1,0 +1,18 @@
+// Fixture: hdr-missing-include fires when a std:: type is used
+// without its header (virtual path src/sim/fixture.hh).
+#ifndef CXLSIM_HDR_MISSING_INCLUDE_HH
+#define CXLSIM_HDR_MISSING_INCLUDE_HH
+
+#include <string>
+
+namespace fixture {
+
+struct Record
+{
+    std::string name;            // fine: <string> included
+    std::vector<int> samples;    // VIOLATION line 13: no <vector>
+};
+
+}  // namespace fixture
+
+#endif  // CXLSIM_HDR_MISSING_INCLUDE_HH

@@ -1,0 +1,7 @@
+// Fixture: hdr-pragma-once fires — the project convention is a
+// classic include guard (virtual path src/sim/fixture.hh).
+#pragma once
+
+namespace fixture {
+struct Empty {};
+}  // namespace fixture

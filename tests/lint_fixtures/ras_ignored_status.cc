@@ -1,0 +1,34 @@
+// Fixture: ras-ignored-status fires when an *Ex result is dropped,
+// including via (void) (virtual path src/mem/fixture.cc).
+namespace fixture {
+
+struct Result
+{
+    long done;
+    int status;
+};
+
+struct Backend
+{
+    Result accessEx(long addr, int type, long now);
+};
+
+long
+dropped(Backend &b)
+{
+    b.accessEx(0, 0, 0);          // VIOLATION line 19
+    (void)b.accessEx(0, 0, 0);    // VIOLATION line 20
+    Result r = b.accessEx(0, 0, 0);
+    return r.done;
+}
+
+long
+consumed(Backend &b)
+{
+    auto r = b.accessEx(1, 0, 0);
+    if (r.status != 0)
+        return -1;
+    return b.accessEx(2, 0, 0).done;
+}
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// Fixture: ras-plain-call fires on status-less wrappers called
+// through a pointer in RAS-aware layers (virtual src/cxl/fixture.cc).
+namespace fixture {
+
+struct Backend
+{
+    long access(long addr, int type, long now);
+    struct Result
+    {
+        long done;
+        int status;
+    };
+    Result accessEx(long addr, int type, long now);
+};
+
+long
+plain(Backend *b)
+{
+    return b->access(0, 0, 0);  // VIOLATION line 19
+}
+
+long
+viaEx(Backend *b)
+{
+    return b->accessEx(0, 0, 0).done;
+}
+
+// Value receivers are non-backend helpers (e.g. dram::Channel):
+// out of this rule's scope.
+long
+channelFine(Backend &chan)
+{
+    return chan.access(0, 0, 0);
+}
+
+}  // namespace fixture

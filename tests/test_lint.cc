@@ -1,0 +1,298 @@
+/**
+ * @file
+ * melody-lint rule-engine tests: each rule family has a fixture
+ * proving it fires (exact rule id + line) and a clean fixture
+ * proving it stays quiet, plus suppression, scoping and lexer
+ * robustness coverage. Fixtures live in tests/lint_fixtures/ and
+ * are linted under *virtual* paths so the path-scoping logic is
+ * exercised without depending on where the checkout lives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace {
+
+using melodylint::Diagnostic;
+using melodylint::lintSource;
+
+std::string
+fixture(const std::string &name)
+{
+    const std::string path =
+        std::string(LINT_FIXTURE_DIR) + "/" + name;
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << "missing fixture " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** (rule, line) pairs for compact assertions. */
+std::vector<std::pair<std::string, int>>
+ruleLines(const std::vector<Diagnostic> &diags)
+{
+    std::vector<std::pair<std::string, int>> out;
+    out.reserve(diags.size());
+    for (const auto &d : diags)
+        out.emplace_back(d.rule, d.line);
+    return out;
+}
+
+using Expected = std::vector<std::pair<std::string, int>>;
+
+// ---------------------------------------------------------------
+// Family 1: determinism.
+// ---------------------------------------------------------------
+
+TEST(LintDeterminism, BannedCallFiresWithRuleAndLine)
+{
+    const auto diags = lintSource("src/cxl/fixture.cc",
+                                  fixture("det_banned_call.cc"));
+    EXPECT_EQ(ruleLines(diags),
+              (Expected{{"det-banned-call", 10},
+                        {"det-banned-call", 16}}));
+}
+
+TEST(LintDeterminism, BannedCallAllowedInsideRng)
+{
+    // src/sim/rng.cc is the one blessed home for raw entropy.
+    const auto diags = lintSource("src/sim/rng.cc",
+                                  fixture("det_banned_call.cc"));
+    EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintDeterminism, UnorderedIterFiresInStatsPath)
+{
+    const auto diags = lintSource("src/stats/fixture.cc",
+                                  fixture("det_unordered_iter.cc"));
+    EXPECT_EQ(ruleLines(diags),
+              (Expected{{"det-unordered-iter", 15}}));
+}
+
+TEST(LintDeterminism, UnorderedIterQuietOutsideOutputPaths)
+{
+    // The same loop in the memory model is order-insensitive
+    // simulation state, not figure output.
+    const auto diags = lintSource("src/mem/fixture.cc",
+                                  fixture("det_unordered_iter.cc"));
+    EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintDeterminism, StaticLocalFiresOnMutableOnly)
+{
+    const auto diags = lintSource("src/sim/fixture.cc",
+                                  fixture("det_static_local.cc"));
+    EXPECT_EQ(ruleLines(diags),
+              (Expected{{"det-static-local", 8}}));
+}
+
+// ---------------------------------------------------------------
+// Family 2: RAS-status hygiene.
+// ---------------------------------------------------------------
+
+TEST(LintRas, IgnoredStatusFiresOnDropAndVoidCast)
+{
+    const auto diags = lintSource("src/mem/fixture.cc",
+                                  fixture("ras_ignored_status.cc"));
+    EXPECT_EQ(ruleLines(diags),
+              (Expected{{"ras-ignored-status", 19},
+                        {"ras-ignored-status", 20}}));
+}
+
+TEST(LintRas, IgnoredStatusQuietOutsideRasLayers)
+{
+    const auto diags = lintSource("src/cpu/fixture.cc",
+                                  fixture("ras_ignored_status.cc"));
+    EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintRas, PlainCallFiresOnPointerReceiver)
+{
+    const auto diags = lintSource("src/cxl/fixture.cc",
+                                  fixture("ras_plain_call.cc"));
+    EXPECT_EQ(ruleLines(diags),
+              (Expected{{"ras-plain-call", 19}}));
+}
+
+TEST(LintRas, PlainCallQuietInHeadersAndOtherLayers)
+{
+    // Headers define the status-less wrappers themselves (the
+    // header-hygiene rules still inspect the virtual .hh path, so
+    // only assert this rule's silence).
+    for (const auto &d : lintSource("src/cxl/fixture.hh",
+                                    fixture("ras_plain_call.cc")))
+        EXPECT_NE(d.rule, "ras-plain-call");
+    EXPECT_TRUE(lintSource("src/dram/fixture.cc",
+                           fixture("ras_plain_call.cc"))
+                    .empty());
+}
+
+// ---------------------------------------------------------------
+// Family 3: error discipline.
+// ---------------------------------------------------------------
+
+TEST(LintError, FatalOnUserInputPathFires)
+{
+    const auto diags =
+        lintSource("src/ras/fault_plan_util.cc",
+                   fixture("err_fatal_user_input.cc"));
+    EXPECT_EQ(ruleLines(diags),
+              (Expected{{"err-fatal-user-input", 11}}));
+}
+
+TEST(LintError, FatalFineOnInternalPaths)
+{
+    // SIM_FATAL stays legal for internal invariants elsewhere.
+    const auto diags = lintSource(
+        "src/cpu/core.cc", fixture("err_fatal_user_input.cc"));
+    EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintError, StrayStreamFiresInLibraryCode)
+{
+    const auto diags = lintSource("src/spa/fixture.cc",
+                                  fixture("err_stray_stream.cc"));
+    EXPECT_EQ(ruleLines(diags),
+              (Expected{{"err-stray-stream", 11},
+                        {"err-stray-stream", 12}}));
+}
+
+TEST(LintError, StrayStreamFineInToolsAndLogging)
+{
+    EXPECT_TRUE(lintSource("tools/melody_cli.cc",
+                           fixture("err_stray_stream.cc"))
+                    .empty());
+    EXPECT_TRUE(lintSource("src/sim/logging.cc",
+                           fixture("err_stray_stream.cc"))
+                    .empty());
+}
+
+// ---------------------------------------------------------------
+// Family 4: header hygiene.
+// ---------------------------------------------------------------
+
+TEST(LintHeader, GuardMismatchFires)
+{
+    const auto diags = lintSource("src/sim/fixture.hh",
+                                  fixture("hdr_bad_guard.hh"));
+    EXPECT_EQ(ruleLines(diags), (Expected{{"hdr-guard", 3}}));
+}
+
+TEST(LintHeader, PragmaOnceFires)
+{
+    const auto diags = lintSource("src/sim/fixture.hh",
+                                  fixture("hdr_pragma_once.hh"));
+    EXPECT_EQ(ruleLines(diags),
+              (Expected{{"hdr-pragma-once", 3}}));
+}
+
+TEST(LintHeader, MissingIncludeFires)
+{
+    const auto diags = lintSource("src/sim/fixture.hh",
+                                  fixture("hdr_missing_include.hh"));
+    EXPECT_EQ(ruleLines(diags),
+              (Expected{{"hdr-missing-include", 13}}));
+}
+
+TEST(LintHeader, GuardRulesSkipNonHeaders)
+{
+    const auto diags = lintSource("src/sim/fixture.cc",
+                                  fixture("hdr_pragma_once.hh"));
+    EXPECT_TRUE(diags.empty());
+}
+
+// ---------------------------------------------------------------
+// Clean fixtures: every family stays quiet on well-behaved code.
+// ---------------------------------------------------------------
+
+TEST(LintClean, CleanSourceIsQuietInEveryScope)
+{
+    const std::string content = fixture("clean.cc");
+    for (const char *path :
+         {"src/stats/clean.cc", "src/mem/clean.cc",
+          "src/cxl/clean.cc", "src/sim/clean.cc",
+          "tools/clean.cc"})
+        EXPECT_TRUE(lintSource(path, content).empty())
+            << "unexpected finding under " << path;
+}
+
+TEST(LintClean, CleanHeaderIsQuiet)
+{
+    EXPECT_TRUE(
+        lintSource("src/sim/clean.hh", fixture("clean.hh"))
+            .empty());
+}
+
+// ---------------------------------------------------------------
+// Suppression syntax.
+// ---------------------------------------------------------------
+
+TEST(LintSuppression, AllowCoversSameLineAndLineAbove)
+{
+    int suppressed = 0;
+    const auto diags = lintSource(
+        "src/cxl/fixture.cc", fixture("suppressed.cc"),
+        &suppressed);
+    // Only the wrong-rule allow leaves its violation live.
+    EXPECT_EQ(ruleLines(diags),
+              (Expected{{"det-banned-call", 24}}));
+    EXPECT_EQ(suppressed, 2);
+}
+
+// ---------------------------------------------------------------
+// Lexer robustness: tokens inside comments and strings are inert.
+// ---------------------------------------------------------------
+
+TEST(LintLexer, CommentsAndStringsNeverMatch)
+{
+    const std::string content =
+        "// rand() in a comment\n"
+        "/* std::mt19937 in a block\n   comment */\n"
+        "const char *s = \"rand() time() SIM_FATAL\";\n"
+        "const char *r = R\"(rand() mt19937)\";\n";
+    EXPECT_TRUE(lintSource("src/cxl/strings.cc", content).empty());
+}
+
+TEST(LintLexer, LineNumbersSurviveMultilineConstructs)
+{
+    const std::string content =
+        "/* one\n   two\n   three */\n"
+        "int f() { return rand(); }\n";  // line 4
+    const auto diags = lintSource("src/cxl/lines.cc", content);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "det-banned-call");
+    EXPECT_EQ(diags[0].line, 4);
+}
+
+// ---------------------------------------------------------------
+// JSON report shape.
+// ---------------------------------------------------------------
+
+TEST(LintReport, JsonHasStableKeysAndCounts)
+{
+    melodylint::Report report;
+    report.filesScanned = 2;
+    report.suppressed = 1;
+    report.diags.push_back({"src/a.cc", 7, "det-banned-call",
+                            melodylint::Severity::kError,
+                            "msg with \"quotes\""});
+    std::ostringstream os;
+    melodylint::writeJsonReport(report, os);
+    const std::string j = os.str();
+    EXPECT_NE(j.find("\"filesScanned\": 2"), std::string::npos);
+    EXPECT_NE(j.find("\"errors\": 1"), std::string::npos);
+    EXPECT_NE(j.find("\"warnings\": 0"), std::string::npos);
+    EXPECT_NE(j.find("\"suppressed\": 1"), std::string::npos);
+    EXPECT_NE(j.find("\"rule\": \"det-banned-call\""),
+              std::string::npos);
+    EXPECT_NE(j.find("\\\"quotes\\\""), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * melody-lint tree walker and JSON report writer — in the core
+ * library (not main.cc) so tests can exercise them directly.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace fs = std::filesystem;
+
+namespace melodylint {
+namespace {
+
+bool
+lintableFile(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".cpp" || ext == ".cxx" ||
+           ext == ".hh" || ext == ".h" || ext == ".hpp";
+}
+
+/** Directories that hold generated or fixture content, not code. */
+bool
+skippedDir(const std::string &name)
+{
+    return name == "lint_fixtures" || name == ".git" ||
+           name == "CMakeFiles" || name == "results" ||
+           name.rfind("build", 0) == 0;
+}
+
+std::string
+readFile(const fs::path &p, bool *ok)
+{
+    std::ifstream in(p, std::ios::binary);
+    *ok = static_cast<bool>(in);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Repo-relative-ish display path: strip a leading "./". */
+std::string
+displayPath(const fs::path &p)
+{
+    std::string s = p.generic_string();
+    if (s.rfind("./", 0) == 0)
+        s = s.substr(2);
+    return s;
+}
+
+void
+lintOne(const fs::path &p, Report *report)
+{
+    bool ok = false;
+    const std::string content = readFile(p, &ok);
+    if (!ok) {
+        std::cerr << "melody-lint: cannot read " << p << "\n";
+        return;
+    }
+    ++report->filesScanned;
+    int suppressed = 0;
+    auto diags = lintSource(displayPath(p), content, &suppressed);
+    report->suppressed += suppressed;
+    report->diags.insert(report->diags.end(), diags.begin(),
+                         diags.end());
+}
+
+}  // namespace
+
+Report
+lintTree(const std::vector<std::string> &roots)
+{
+    Report report;
+    for (const std::string &root : roots) {
+        fs::path rp(root);
+        std::error_code ec;
+        if (fs::is_regular_file(rp, ec)) {
+            lintOne(rp, &report);
+            continue;
+        }
+        if (!fs::is_directory(rp, ec)) {
+            std::cerr << "melody-lint: no such path: " << root
+                      << "\n";
+            continue;
+        }
+        fs::recursive_directory_iterator it(
+            rp, fs::directory_options::skip_permission_denied, ec);
+        for (auto end = fs::end(it); it != end;
+             it.increment(ec)) {
+            if (ec)
+                break;
+            const fs::directory_entry &e = *it;
+            if (e.is_directory(ec)) {
+                if (skippedDir(e.path().filename().string()))
+                    it.disable_recursion_pending();
+                continue;
+            }
+            if (e.is_regular_file(ec) && lintableFile(e.path()))
+                lintOne(e.path(), &report);
+        }
+    }
+    return report;
+}
+
+void
+writeJsonReport(const Report &report, std::ostream &os)
+{
+    auto escape = [](const std::string &s) {
+        std::string out;
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        return out;
+    };
+    os << "{\n  \"filesScanned\": " << report.filesScanned
+       << ",\n  \"errors\": " << report.errorCount()
+       << ",\n  \"warnings\": " << report.warningCount()
+       << ",\n  \"suppressed\": " << report.suppressed
+       << ",\n  \"diagnostics\": [";
+    for (std::size_t i = 0; i < report.diags.size(); ++i) {
+        const Diagnostic &d = report.diags[i];
+        os << (i ? "," : "") << "\n    {\"path\": \""
+           << escape(d.path) << "\", \"line\": " << d.line
+           << ", \"rule\": \"" << escape(d.rule)
+           << "\", \"severity\": \"" << severityName(d.severity)
+           << "\", \"message\": \"" << escape(d.message) << "\"}";
+    }
+    os << (report.diags.empty() ? "" : "\n  ") << "]\n}\n";
+}
+
+}  // namespace melodylint

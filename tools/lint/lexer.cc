@@ -1,0 +1,219 @@
+#include "lexer.hh"
+
+#include <cctype>
+#include <cstring>
+
+namespace melodylint {
+
+bool
+LexResult::allowed(int line, const std::string &rule) const
+{
+    return allows.count({line, rule}) > 0 ||
+           allows.count({line - 1, rule}) > 0;
+}
+
+namespace {
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Multi-character punctuators, longest first. */
+const char *const kPuncts[] = {
+    "...", "->*", "<<=", ">>=", "<=>", "::", "->", "<<", ">>",
+    "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=",
+    "%=", "&=", "|=", "^=", "++", "--", ".*",
+};
+
+/** Record every lint:allow(rule[, rule...]) inside comment text. */
+void
+scanAllows(const std::string &comment, int line,
+           std::set<std::pair<int, std::string>> *allows)
+{
+    std::size_t pos = 0;
+    while ((pos = comment.find("lint:allow(", pos)) !=
+           std::string::npos) {
+        pos += std::strlen("lint:allow(");
+        const std::size_t close = comment.find(')', pos);
+        if (close == std::string::npos)
+            return;
+        std::string id;
+        for (std::size_t i = pos; i <= close; ++i) {
+            const char c = i < close ? comment[i] : ',';
+            if (c == ',' ) {
+                if (!id.empty())
+                    allows->insert({line, id});
+                id.clear();
+            } else if (!std::isspace(static_cast<unsigned char>(c))) {
+                id += c;
+            }
+        }
+        pos = close + 1;
+    }
+}
+
+}  // namespace
+
+LexResult
+lex(const std::string &content)
+{
+    LexResult out;
+    const std::size_t n = content.size();
+    std::size_t i = 0;
+    int line = 1;
+    bool atLineStart = true;  // only whitespace seen on this line
+
+    auto push = [&](TokKind k, std::string text) {
+        out.tokens.push_back({k, std::move(text), line});
+    };
+
+    while (i < n) {
+        const char c = content[i];
+
+        if (c == '\n') {
+            ++line;
+            ++i;
+            atLineStart = true;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+
+        // Line comment (may carry a lint:allow).
+        if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+            const std::size_t eol = content.find('\n', i);
+            const std::size_t end =
+                eol == std::string::npos ? n : eol;
+            scanAllows(content.substr(i, end - i), line,
+                       &out.allows);
+            i = end;
+            continue;
+        }
+
+        // Block comment; count the lines it spans.
+        if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+            std::size_t j = i + 2;
+            int startLine = line;
+            std::string body;
+            while (j + 1 < n &&
+                   !(content[j] == '*' && content[j + 1] == '/')) {
+                if (content[j] == '\n')
+                    ++line;
+                body += content[j];
+                ++j;
+            }
+            scanAllows(body, startLine, &out.allows);
+            i = j + 2 <= n ? j + 2 : n;
+            continue;
+        }
+
+        // Raw string literal: R"delim( ... )delim".
+        if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
+            std::size_t j = i + 2;
+            std::string delim;
+            while (j < n && content[j] != '(')
+                delim += content[j++];
+            const std::string closer = ")" + delim + "\"";
+            const std::size_t end = content.find(closer, j);
+            std::size_t stop =
+                end == std::string::npos ? n : end + closer.size();
+            for (std::size_t k = i; k < stop; ++k)
+                if (content[k] == '\n')
+                    ++line;
+            push(TokKind::kString, "R\"...\"");
+            i = stop;
+            atLineStart = false;
+            continue;
+        }
+
+        // String / char literal with escapes.
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            std::size_t j = i + 1;
+            while (j < n && content[j] != quote) {
+                if (content[j] == '\\' && j + 1 < n)
+                    ++j;
+                else if (content[j] == '\n')
+                    ++line;  // unterminated; keep counting
+                ++j;
+            }
+            push(TokKind::kString,
+                 content.substr(i, j + 1 > n ? n - i : j + 1 - i));
+            i = j + 1;
+            atLineStart = false;
+            continue;
+        }
+
+        // Preprocessor directive (only when '#' is first non-blank).
+        if (c == '#' && atLineStart) {
+            std::size_t j = i + 1;
+            while (j < n && (content[j] == ' ' || content[j] == '\t'))
+                ++j;
+            std::string name;
+            while (j < n && identChar(content[j]))
+                name += content[j++];
+            push(TokKind::kDirective, name);
+            i = j;
+            atLineStart = false;
+            continue;
+        }
+
+        if (identStart(c)) {
+            std::size_t j = i;
+            while (j < n && identChar(content[j]))
+                ++j;
+            push(TokKind::kIdent, content.substr(i, j - i));
+            i = j;
+            atLineStart = false;
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i;
+            while (j < n && (identChar(content[j]) ||
+                             content[j] == '\'' ||
+                             (content[j] == '.' ) ||
+                             ((content[j] == '+' || content[j] == '-') &&
+                              j > i &&
+                              (content[j - 1] == 'e' ||
+                               content[j - 1] == 'E' ||
+                               content[j - 1] == 'p' ||
+                               content[j - 1] == 'P'))))
+                ++j;
+            push(TokKind::kNumber, content.substr(i, j - i));
+            i = j;
+            atLineStart = false;
+            continue;
+        }
+
+        // Punctuator, longest match first.
+        bool matched = false;
+        for (const char *p : kPuncts) {
+            const std::size_t len = std::strlen(p);
+            if (content.compare(i, len, p) == 0) {
+                push(TokKind::kPunct, p);
+                i += len;
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) {
+            push(TokKind::kPunct, std::string(1, c));
+            ++i;
+        }
+        atLineStart = false;
+    }
+    return out;
+}
+
+}  // namespace melodylint

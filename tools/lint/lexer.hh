@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Minimal C++ tokenizer for melody-lint.
+ *
+ * Deliberately not a preprocessor or parser: it splits a source
+ * file into identifiers, literals, punctuators and preprocessor
+ * directives with accurate line numbers, strips comments (recording
+ * lint:allow suppressions as it goes), and understands raw strings.
+ * That is exactly enough for the rule engine to reason about call
+ * sites and declarations without libclang.
+ */
+
+#ifndef MELODY_LINT_LEXER_HH
+#define MELODY_LINT_LEXER_HH
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace melodylint {
+
+enum class TokKind {
+    kIdent,      ///< identifier or keyword
+    kNumber,     ///< numeric literal
+    kString,     ///< string or char literal (quotes included)
+    kPunct,      ///< operator / punctuator, longest-match ("->", "::")
+    kDirective,  ///< preprocessor directive name ("ifndef", "pragma")
+};
+
+struct Token
+{
+    TokKind kind;
+    std::string text;
+    int line = 0;
+
+    bool is(const char *s) const { return text == s; }
+};
+
+/** Lexer output: token stream plus the suppression side table. */
+struct LexResult
+{
+    std::vector<Token> tokens;
+    /** (line, rule-id) pairs from lint:allow comments. A pair on
+     *  line L suppresses diagnostics on L and L+1. */
+    std::set<std::pair<int, std::string>> allows;
+
+    /** True when @p rule is suppressed at @p line. */
+    bool allowed(int line, const std::string &rule) const;
+};
+
+LexResult lex(const std::string &content);
+
+}  // namespace melodylint
+
+#endif  // MELODY_LINT_LEXER_HH

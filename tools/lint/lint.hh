@@ -1,0 +1,90 @@
+/**
+ * @file
+ * melody-lint: project-specific static analysis for the simulator.
+ *
+ * The simulator's correctness story rests on contracts that the
+ * type system cannot express and that runtime tests only probe:
+ *
+ *  - determinism: every stochastic draw goes through the seeded
+ *    cxlsim::Rng; iteration order of output-producing code must not
+ *    depend on hash-table layout; no hidden mutable state reachable
+ *    from parallelFor workers;
+ *  - RAS-status hygiene: fault-capable layers must consume the
+ *    ras::Status a request returns — dropping one silently converts
+ *    a poisoned/timed-out access into a clean one;
+ *  - error discipline: invalid *user input* throws ConfigError so
+ *    front ends can print usage and exit(2); SIM_FATAL is reserved
+ *    for internal invariants, and stray stdout/stderr writes in the
+ *    library would corrupt figure output streams;
+ *  - header hygiene: headers are include-guarded (project
+ *    convention, not #pragma once) and self-contained.
+ *
+ * melody-lint enforces these as compile-time-cheap textual rules
+ * over a real tokenizer (comments and string literals never produce
+ * false hits). A violation can be suppressed on its own line or the
+ * line above with:  // lint:allow(rule-id[, rule-id...])  — the
+ * suppression count is reported so drift stays visible.
+ */
+
+#ifndef MELODY_LINT_LINT_HH
+#define MELODY_LINT_LINT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace melodylint {
+
+/** Diagnostic severity: errors gate the build, warnings inform. */
+enum class Severity { kWarning, kError };
+
+const char *severityName(Severity s);
+
+/** One finding, anchored to a repo-relative path and 1-based line. */
+struct Diagnostic
+{
+    std::string path;
+    int line = 0;
+    std::string rule;
+    Severity severity = Severity::kError;
+    std::string message;
+};
+
+/** Aggregate result of linting one or more files. */
+struct Report
+{
+    std::vector<Diagnostic> diags;
+    int filesScanned = 0;
+    /** Violations silenced by lint:allow (kept visible in JSON). */
+    int suppressed = 0;
+
+    int errorCount() const;
+    int warningCount() const;
+};
+
+/**
+ * Lint one translation unit.
+ *
+ * @param path    Repo-relative path; rule scoping (which rules
+ *                apply) is derived from it, so tests can lint
+ *                fixture content under a virtual path.
+ * @param content Full file contents.
+ * @param suppressedOut Incremented per lint:allow'd violation.
+ */
+std::vector<Diagnostic> lintSource(const std::string &path,
+                                   const std::string &content,
+                                   int *suppressedOut = nullptr);
+
+/**
+ * Recursively lint every C/C++ source under each root (file roots
+ * are linted directly). Directories named lint_fixtures, build*,
+ * .git, CMakeFiles and results are skipped.
+ */
+Report lintTree(const std::vector<std::string> &roots);
+
+/** Machine-readable report (stable keys, sorted diagnostics). */
+void writeJsonReport(const Report &report, std::ostream &os);
+
+}  // namespace melodylint
+
+#endif  // MELODY_LINT_LINT_HH
