@@ -11,7 +11,10 @@
  * what latency-only emulation misses.
  */
 
+#include <memory>
+
 #include "bench/common.hh"
+#include "bench/figures.hh"
 #include "cpu/multicore.hh"
 #include "cxl/device_profile.hh"
 #include "mem/cxl_backend.hh"
@@ -35,14 +38,18 @@ synthetic190()
 
 }  // namespace
 
-int
-main()
-{
-    bench::header("Ablation",
-                  "NUMA-emulated vs tail-realistic CXL at ~190ns");
+namespace figs {
 
-    // Verify the average latencies line up first.
-    {
+void
+buildAblationEmulation(sweep::Sweep &S)
+{
+    S.text(bench::headerText(
+        "Ablation", "NUMA-emulated vs tail-realistic CXL at ~190ns"));
+
+    // Verify the average latencies line up first. One point: the
+    // two measurement loops share one Rng stream, so they are a
+    // single unit of work.
+    S.point("idle-check|seed=1,5", [](sweep::Emit &out) {
         melody::Platform numa("SKX2S", "NUMA-190ns");
         auto nb = numa.makeBackend(1);
         Rng r(5);
@@ -68,44 +75,51 @@ main()
             sum2 += ticksToNs(done - now);
             now = done + nsToTicks(2);
         }
-        std::printf("avg idle latency: NUMA-190ns %.0fns vs "
-                    "synthetic CXL %.0fns\n\n",
-                    sum / 4000, sum2 / 4000);
-    }
+        out.printf("avg idle latency: NUMA-190ns %.0fns vs "
+                   "synthetic CXL %.0fns\n\n",
+                   sum / 4000, sum2 / 4000);
+    });
 
-    std::printf("%-22s %14s %14s %10s\n", "Workload",
-                "S NUMA-190(%)", "S CXL-190(%)", "gap(pp)");
-    melody::SlowdownStudy study(33);
+    S.textf("%-22s %14s %14s %10s\n", "Workload", "S NUMA-190(%)",
+            "S CXL-190(%)", "gap(pp)");
+    auto study = std::make_shared<melody::SlowdownStudy>(33);
     for (const char *n :
          {"redis/ycsb-c", "520.omnetpp_r", "605.mcf_s", "bfs-web",
           "gpt2-small", "pts-openssl", "dlrm-inference"}) {
-        auto w = bench::scaled(workloads::byName(n), 40000);
+        S.point(std::string("wl|") + n + "|seed=33,3",
+                [study, n](sweep::Emit &out) {
+                    auto w =
+                        bench::scaled(workloads::byName(n), 40000);
 
-        const double sNuma =
-            study.slowdown(w, "SKX2S", "NUMA-190ns");
+                    const double sNuma = study->slowdown(
+                        w, "SKX2S", "NUMA-190ns");
 
-        // Same workload against the tail-realistic device, with the
-        // same SKX CPU for a like-for-like comparison.
-        melody::Platform lp("SKX2S", "Local");
-        auto lb = lp.makeBackend(3);
-        cpu::MultiCore ml(lp.cpu(), w.exec, lb.get(),
-                          workloads::makeKernels(w));
-        const auto base = ml.run();
+                    // Same workload against the tail-realistic
+                    // device, with the same SKX CPU for a
+                    // like-for-like comparison.
+                    melody::Platform lp("SKX2S", "Local");
+                    auto lb = lp.makeBackend(3);
+                    cpu::MultiCore ml(lp.cpu(), w.exec, lb.get(),
+                                      workloads::makeKernels(w));
+                    const auto base = ml.run();
 
-        mem::CxlBackendConfig cfg;
-        cfg.profile = synthetic190();
-        cfg.seed = 3;
-        mem::CxlBackend cb(cfg);
-        cpu::MultiCore mt(lp.cpu(), w.exec, &cb,
-                          workloads::makeKernels(w));
-        const double sCxl = melody::slowdownPct(base, mt.run());
+                    mem::CxlBackendConfig cfg;
+                    cfg.profile = synthetic190();
+                    cfg.seed = 3;
+                    mem::CxlBackend cb(cfg);
+                    cpu::MultiCore mt(lp.cpu(), w.exec, &cb,
+                                      workloads::makeKernels(w));
+                    const double sCxl =
+                        melody::slowdownPct(base, mt.run());
 
-        std::printf("%-22s %14.1f %14.1f %10.1f\n", n, sNuma, sCxl,
-                    sCxl - sNuma);
+                    out.printf("%-22s %14.1f %14.1f %10.1f\n", n,
+                               sNuma, sCxl, sCxl - sNuma);
+                });
     }
-    std::printf("\nNUMA emulation matches the average but misses the "
-                "tail-driven extra slowdown — the gap column is the "
-                "error a latency-only emulation methodology makes "
-                "(why the paper insists on real devices).\n");
-    return 0;
+    S.text("\nNUMA emulation matches the average but misses the "
+           "tail-driven extra slowdown — the gap column is the "
+           "error a latency-only emulation methodology makes "
+           "(why the paper insists on real devices).\n");
 }
+
+}  // namespace figs

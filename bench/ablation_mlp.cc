@@ -13,6 +13,7 @@
  */
 
 #include "bench/common.hh"
+#include "bench/figures.hh"
 #include "cpu/multicore.hh"
 #include "workloads/synthetic_kernel.hh"
 
@@ -45,53 +46,74 @@ slowdownWith(const workloads::WorkloadProfile &w,
 
 }  // namespace
 
-int
-main()
+namespace figs {
+
+void
+buildAblationMlp(sweep::Sweep &S)
 {
-    bench::header("Ablation", "MLP and CPU tolerance to CXL latency");
+    S.text(bench::headerText("Ablation",
+                             "MLP and CPU tolerance to CXL latency"));
 
-    bench::section("(1) dependence sweep (pointer-chase fraction) "
-                   "on CXL-A");
-    std::printf("%10s %12s\n", "depFrac", "S(%)");
-    auto w = bench::scaled(workloads::byName("ubench-rnd-4096m-i56"),
-                           40000);
+    S.text(bench::sectionText(
+        "(1) dependence sweep (pointer-chase fraction) on CXL-A"));
+    S.textf("%10s %12s\n", "depFrac", "S(%)");
     for (double dep : {1.0, 0.5, 0.25, 0.0}) {
-        auto v = w;
-        v.dependentFrac = dep;
-        v.coldBurst = 4;
-        std::printf("%10.2f %12.1f\n", dep,
-                    slowdownWith(v, 0, 0, "CXL-A"));
+        S.point("dep|ubench-rnd-4096m-i56|frac=" +
+                    stats::Table::num(dep, 2) + "|seed=5",
+                [dep](sweep::Emit &out) {
+                    auto v = bench::scaled(
+                        workloads::byName("ubench-rnd-4096m-i56"),
+                        40000);
+                    v.dependentFrac = dep;
+                    v.coldBurst = 4;
+                    out.printf("%10.2f %12.1f\n", dep,
+                               slowdownWith(v, 0, 0, "CXL-A"));
+                });
     }
-    std::printf("MLP lifts absolute performance on every backend, "
-                "but the LOCAL baseline gains the most - so the "
-                "relative slowdown is LARGER for MLP-friendly "
-                "workloads (Finding #2: relative slowdowns exceed "
-                "the latency ratio), while pure chases pay the "
-                "latency ratio directly.\n");
+    S.text("MLP lifts absolute performance on every backend, "
+           "but the LOCAL baseline gains the most - so the "
+           "relative slowdown is LARGER for MLP-friendly "
+           "workloads (Finding #2: relative slowdowns exceed "
+           "the latency ratio), while pure chases pay the "
+           "latency ratio directly.\n");
 
-    bench::section("(2) ROB-size sweep (chase workload, CXL-B)");
-    std::printf("%8s %12s\n", "ROB", "S(%)");
-    auto chase = bench::scaled(
-        workloads::byName("ubench-chase-4096m-i17"), 30000);
+    S.text(bench::sectionText(
+        "(2) ROB-size sweep (chase workload, CXL-B)"));
+    S.textf("%8s %12s\n", "ROB", "S(%)");
     for (unsigned rob : {128u, 224u, 512u, 1024u}) {
-        std::printf("%8u %12.1f\n", rob,
-                    slowdownWith(chase, rob, 0, "CXL-B"));
+        S.point("rob|ubench-chase-4096m-i17|" +
+                    std::to_string(rob) + "|seed=5",
+                [rob](sweep::Emit &out) {
+                    auto chase = bench::scaled(
+                        workloads::byName("ubench-chase-4096m-i17"),
+                        30000);
+                    out.printf(
+                        "%8u %12.1f\n", rob,
+                        slowdownWith(chase, rob, 0, "CXL-B"));
+                });
     }
-    std::printf("Dependent chains defeat the window: ROB growth "
-                "barely helps pointer chasing (CPU tolerance is "
-                "workload-structural, Finding #2).\n");
+    S.text("Dependent chains defeat the window: ROB growth "
+           "barely helps pointer chasing (CPU tolerance is "
+           "workload-structural, Finding #2).\n");
 
-    bench::section("(3) LFB (MLP limit) sweep (random-burst "
-                   "workload, CXL-B)");
-    std::printf("%8s %12s\n", "LFB", "S(%)");
-    auto rnd = bench::scaled(workloads::byName("dlrm-inference"),
-                             20000);
+    S.text(bench::sectionText(
+        "(3) LFB (MLP limit) sweep (random-burst "
+        "workload, CXL-B)"));
+    S.textf("%8s %12s\n", "LFB", "S(%)");
     for (unsigned lfb : {8u, 16u, 32u, 64u}) {
-        std::printf("%8u %12.1f\n", lfb,
-                    slowdownWith(rnd, 0, lfb, "CXL-B"));
+        S.point("lfb|dlrm-inference|" + std::to_string(lfb) +
+                    "|seed=5",
+                [lfb](sweep::Emit &out) {
+                    auto rnd = bench::scaled(
+                        workloads::byName("dlrm-inference"), 20000);
+                    out.printf(
+                        "%8u %12.1f\n", lfb,
+                        slowdownWith(rnd, 0, lfb, "CXL-B"));
+                });
     }
-    std::printf("More fill buffers raise the overlap ceiling — the "
-                "hardware lever the paper's Implication #1a points "
-                "at (CPUs must tolerate CXL latencies).\n");
-    return 0;
+    S.text("More fill buffers raise the overlap ceiling — the "
+           "hardware lever the paper's Implication #1a points "
+           "at (CPUs must tolerate CXL latencies).\n");
 }
+
+}  // namespace figs

@@ -14,6 +14,7 @@
  */
 
 #include "bench/common.hh"
+#include "bench/figures.hh"
 #include "cpu/multicore.hh"
 #include "spa/breakdown.hh"
 #include "spa/prefetch_analysis.hh"
@@ -39,63 +40,93 @@ run(const workloads::WorkloadProfile &w, const char *mem,
 
 }  // namespace
 
-int
-main()
-{
-    bench::header("Ablation", "Prefetcher mechanisms (Finding #4)");
+namespace figs {
 
-    bench::section("(1) prefetchers ON vs OFF");
-    std::printf("%-16s %-7s %10s %10s %12s\n", "Workload", "Setup",
-                "S_on(%)", "S_off(%)", "localPFgain");
+void
+buildAblationPrefetch(sweep::Sweep &S)
+{
+    S.text(bench::headerText("Ablation",
+                             "Prefetcher mechanisms (Finding #4)"));
+
+    S.text(bench::sectionText("(1) prefetchers ON vs OFF"));
+    S.textf("%-16s %-7s %10s %10s %12s\n", "Workload", "Setup",
+            "S_on(%)", "S_off(%)", "localPFgain");
     for (const char *n :
          {"603.bwaves_s", "gpt2-small", "605.mcf_s"}) {
-        const auto w = bench::scaled(workloads::byName(n), 25000);
-        const auto lOn = run(w, "Local", true, 0, 7);
-        const auto lOff = run(w, "Local", false, 0, 7);
-        for (const char *mem : {"CXL-A", "CXL-B"}) {
-            const auto tOn = run(w, mem, true, 0, 7);
-            const auto tOff = run(w, mem, false, 0, 7);
-            const double sOn = melody::slowdownPct(lOn, tOn);
-            const double sOff = melody::slowdownPct(lOff, tOff);
-            const double gain =
-                (static_cast<double>(lOff.wallTicks) /
-                     lOn.wallTicks -
-                 1.0) * 100.0;
-            std::printf("%-16s %-7s %10.1f %10.1f %11.1f%%\n", n,
+        // One point per workload (slot per CXL device): the local
+        // on/off baselines are shared by both device blocks.
+        const std::size_t id = S.point(
+            std::string("onoff|") + n + "|seed=7", 2,
+            [n](sweep::Emit *slots) {
+                const auto w =
+                    bench::scaled(workloads::byName(n), 25000);
+                const auto lOn = run(w, "Local", true, 0, 7);
+                const auto lOff = run(w, "Local", false, 0, 7);
+                const char *mems[] = {"CXL-A", "CXL-B"};
+                for (std::size_t m = 0; m < 2; ++m) {
+                    const char *mem = mems[m];
+                    const auto tOn = run(w, mem, true, 0, 7);
+                    const auto tOff = run(w, mem, false, 0, 7);
+                    const double sOn =
+                        melody::slowdownPct(lOn, tOn);
+                    const double sOff =
+                        melody::slowdownPct(lOff, tOff);
+                    const double gain =
+                        (static_cast<double>(lOff.wallTicks) /
+                             lOn.wallTicks -
+                         1.0) * 100.0;
+                    slots[m].printf(
+                        "%-16s %-7s %10.1f %10.1f %11.1f%%\n", n,
                         mem, sOn, sOff, gain);
 
-            const auto bOn = spa::computeBreakdown(lOn, tOn);
-            const auto bOff = spa::computeBreakdown(lOff, tOff);
-            std::printf("    cache component: on %.1f%% -> off "
+                    const auto bOn =
+                        spa::computeBreakdown(lOn, tOn);
+                    const auto bOff =
+                        spa::computeBreakdown(lOff, tOff);
+                    slots[m].printf(
+                        "    cache component: on %.1f%% -> off "
                         "%.1f%%   DRAM: on %.1f%% -> off %.1f%%\n",
                         bOn.l1 + bOn.l2 + bOn.l3,
                         bOff.l1 + bOff.l2 + bOff.l3, bOn.dram,
                         bOff.dram);
-        }
+                }
+            });
+        S.place(id, 0);
+        S.place(id, 1);
     }
-    std::printf("Paper: with prefetchers off, sL1=sL2=sL3=0 and the "
-                "slowdown transfers to DRAM; local performance "
-                "drops (e.g. -50%% on 603.bwaves).\n");
+    S.text("Paper: with prefetchers off, sL1=sL2=sL3=0 and the "
+           "slowdown transfers to DRAM; local performance "
+           "drops (e.g. -50% on 603.bwaves).\n");
 
-    bench::section("(3) L2 streamer in-flight budget sweep "
-                   "(gpt2-small on CXL-B)");
-    std::printf("%8s %10s %12s %14s %14s\n", "budget", "S(%)",
-                "cacheS(%)", "L2PF-L3-miss", "L1PF-L3-miss");
-    const auto w = bench::scaled(workloads::byName("gpt2-small"),
-                                 25000);
+    S.text(bench::sectionText(
+        "(3) L2 streamer in-flight budget sweep "
+        "(gpt2-small on CXL-B)"));
+    S.textf("%8s %10s %12s %14s %14s\n", "budget", "S(%)",
+            "cacheS(%)", "L2PF-L3-miss", "L1PF-L3-miss");
     for (unsigned budget : {6u, 12u, 20u, 28u, 48u}) {
-        const auto base = run(w, "Local", true, budget, 9);
-        const auto test = run(w, "CXL-B", true, budget, 9);
-        const auto b = spa::computeBreakdown(base, test);
-        std::printf("%8u %10.1f %12.1f %14llu %14llu\n", budget,
-                    b.actual, b.l1 + b.l2 + b.l3,
-                    static_cast<unsigned long long>(
-                        test.counters.l2pfL3Miss),
-                    static_cast<unsigned long long>(
-                        test.counters.l1pfL3Miss));
+        S.point("budget|gpt2-small|" + std::to_string(budget) +
+                    "|seed=9",
+                [budget](sweep::Emit &out) {
+                    const auto w = bench::scaled(
+                        workloads::byName("gpt2-small"), 25000);
+                    const auto base =
+                        run(w, "Local", true, budget, 9);
+                    const auto test =
+                        run(w, "CXL-B", true, budget, 9);
+                    const auto b =
+                        spa::computeBreakdown(base, test);
+                    out.printf(
+                        "%8u %10.1f %12.1f %14llu %14llu\n",
+                        budget, b.actual, b.l1 + b.l2 + b.l3,
+                        static_cast<unsigned long long>(
+                            test.counters.l2pfL3Miss),
+                        static_cast<unsigned long long>(
+                            test.counters.l1pfL3Miss));
+                });
     }
-    std::printf("Deeper streamers keep coverage under CXL latency "
-                "(more L2PF fetches, fewer L1PF takeovers) at the "
-                "cost of more speculative traffic.\n");
-    return 0;
+    S.text("Deeper streamers keep coverage under CXL latency "
+           "(more L2PF fetches, fewer L1PF takeovers) at the "
+           "cost of more speculative traffic.\n");
 }
+
+}  // namespace figs

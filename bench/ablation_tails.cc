@@ -12,6 +12,7 @@
  */
 
 #include "bench/common.hh"
+#include "bench/figures.hh"
 #include "cpu/multicore.hh"
 #include "cxl/device_profile.hh"
 #include "mem/cxl_backend.hh"
@@ -32,45 +33,52 @@ runOn(const workloads::WorkloadProfile &w, mem::MemoryBackend *be)
 
 }  // namespace
 
-int
-main()
-{
-    bench::header("Ablation",
-                  "Tail latencies vs averages: the cost of "
-                  "instability");
+namespace figs {
 
-    std::printf("%-18s %12s %14s %12s\n", "Workload", "S stock(%)",
-                "S no-tails(%)", "tail cost(pp)");
+void
+buildAblationTails(sweep::Sweep &S)
+{
+    S.text(bench::headerText("Ablation",
+                             "Tail latencies vs averages: the cost "
+                             "of instability"));
+
+    S.textf("%-18s %12s %14s %12s\n", "Workload", "S stock(%)",
+            "S no-tails(%)", "tail cost(pp)");
     for (const char *n :
          {"redis/ycsb-c", "520.omnetpp_r", "605.mcf_s",
           "voltdb/ycsb-a", "bfs-web", "dlrm-inference"}) {
-        const auto w = bench::scaled(workloads::byName(n), 40000);
+        S.point(std::string("wl|") + n + "|seed=3",
+                [n](sweep::Emit &out) {
+                    const auto w =
+                        bench::scaled(workloads::byName(n), 40000);
 
-        melody::Platform lp("EMR2S", "Local");
-        auto localBe = lp.makeBackend(3);
-        const auto base = runOn(w, localBe.get());
+                    melody::Platform lp("EMR2S", "Local");
+                    auto localBe = lp.makeBackend(3);
+                    const auto base = runOn(w, localBe.get());
 
-        mem::CxlBackendConfig stockCfg;
-        stockCfg.profile = cxl::cxlB();
-        stockCfg.seed = 3;
-        mem::CxlBackend stock(stockCfg);
-        const auto sStock =
-            melody::slowdownPct(base, runOn(w, &stock));
+                    mem::CxlBackendConfig stockCfg;
+                    stockCfg.profile = cxl::cxlB();
+                    stockCfg.seed = 3;
+                    mem::CxlBackend stock(stockCfg);
+                    const auto sStock = melody::slowdownPct(
+                        base, runOn(w, &stock));
 
-        mem::CxlBackendConfig idealCfg = stockCfg;
-        idealCfg.profile.hiccups = cxl::HiccupParams{};
-        idealCfg.profile.thermal = cxl::ThermalParams{};
-        idealCfg.profile.refreshHiding = 0.995;
-        mem::CxlBackend ideal(idealCfg);
-        const auto sIdeal =
-            melody::slowdownPct(base, runOn(w, &ideal));
+                    mem::CxlBackendConfig idealCfg = stockCfg;
+                    idealCfg.profile.hiccups = cxl::HiccupParams{};
+                    idealCfg.profile.thermal = cxl::ThermalParams{};
+                    idealCfg.profile.refreshHiding = 0.995;
+                    mem::CxlBackend ideal(idealCfg);
+                    const auto sIdeal = melody::slowdownPct(
+                        base, runOn(w, &ideal));
 
-        std::printf("%-18s %12.1f %14.1f %12.1f\n", n, sStock,
-                    sIdeal, sStock - sIdeal);
+                    out.printf("%-18s %12.1f %14.1f %12.1f\n", n,
+                               sStock, sIdeal, sStock - sIdeal);
+                });
     }
-    std::printf("\nSame average latency and bandwidth; the delta is "
-                "purely the controller's latency (in)stability — "
-                "the dimension the paper urges as a first-class "
-                "evaluation metric.\n");
-    return 0;
+    S.text("\nSame average latency and bandwidth; the delta is "
+           "purely the controller's latency (in)stability — "
+           "the dimension the paper urges as a first-class "
+           "evaluation metric.\n");
 }
+
+}  // namespace figs

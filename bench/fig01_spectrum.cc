@@ -6,16 +6,19 @@
  */
 
 #include "bench/common.hh"
+#include "bench/figures.hh"
 #include "core/mio.hh"
 #include "core/mlc.hh"
 
 using namespace cxlsim;
 
-int
-main()
+namespace figs {
+
+void
+buildFig01(sweep::Sweep &S)
 {
-    bench::header("Figure 1",
-                  "Sub-us CXL latency/bandwidth spectrum");
+    S.text(bench::headerText("Figure 1",
+                             "Sub-us CXL latency/bandwidth spectrum"));
 
     struct Point
     {
@@ -33,27 +36,43 @@ main()
         {"CXL + multi-hops", "EMR2S", "CXL-A+Switch2"},
     };
 
-    stats::Table t({"Setup", "IdleLat(ns)", "PeakBW(GB/s)"});
+    std::vector<sweep::Sweep::SlotRef> rows;
     for (const auto &p : points) {
-        melody::Platform plat(p.server, p.memory);
-        auto idleBe = plat.makeBackend(101);
-        const auto idle =
-            melody::mioChaseDirect(idleBe.get(), 1, 15000);
+        const std::size_t id = S.point(
+            std::string("row|") + p.server + "|" + p.memory +
+                "|seeds=101,102",
+            1, [p](sweep::Emit *slots) {
+                melody::Platform plat(p.server, p.memory);
+                auto idleBe = plat.makeBackend(101);
+                const auto idle =
+                    melody::mioChaseDirect(idleBe.get(), 1, 15000);
 
-        melody::MlcConfig cfg;
-        cfg.readFrac = 0.67;
-        cfg.delayCycles = 0;
-        cfg.windowUs = 250;
-        cfg.warmupUs = 60;
-        auto bwBe = plat.makeBackend(102);
-        const auto peak = melody::mlcMeasure(bwBe.get(), cfg);
+                melody::MlcConfig cfg;
+                cfg.readFrac = 0.67;
+                cfg.delayCycles = 0;
+                cfg.windowUs = 250;
+                cfg.warmupUs = 60;
+                auto bwBe = plat.makeBackend(102);
+                const auto peak = melody::mlcMeasure(bwBe.get(), cfg);
 
-        t.addRow({p.label, stats::Table::num(idle.latencyNs.mean(), 0),
-                  stats::Table::num(peak.gbps, 1)});
+                slots[0].text(bench::joinCells(
+                    {p.label,
+                     stats::Table::num(idle.latencyNs.mean(), 0),
+                     stats::Table::num(peak.gbps, 1)}));
+            });
+        rows.push_back({id, 0});
     }
-    t.print();
-    std::printf("\nPaper: Local ~114ns/218GB/s, NUMA ~193ns, CXL "
-                "214-394ns/18-52GB/s,\nCXL+NUMA 333-621ns, "
-                "CXL+Switch ~600ns, multi-hops up to ~800ns.\n");
-    return 0;
+
+    S.gather(rows, [](const std::vector<std::string> &inputs,
+                      sweep::Emit &out) {
+        stats::Table t({"Setup", "IdleLat(ns)", "PeakBW(GB/s)"});
+        for (const auto &row : inputs)
+            t.addRow(bench::splitCells(row));
+        out.text(t.render());
+    });
+    S.text("\nPaper: Local ~114ns/218GB/s, NUMA ~193ns, CXL "
+           "214-394ns/18-52GB/s,\nCXL+NUMA 333-621ns, "
+           "CXL+Switch ~600ns, multi-hops up to ~800ns.\n");
 }
+
+}  // namespace figs

@@ -10,6 +10,7 @@
  */
 
 #include "bench/common.hh"
+#include "bench/figures.hh"
 #include "core/mio.hh"
 #include "core/mlc.hh"
 
@@ -20,96 +21,103 @@ namespace {
 const char *kSetups[] = {"Local", "NUMA",  "CXL-A",
                          "CXL-B", "CXL-C", "CXL-D"};
 
-melody::Platform
-platFor(const std::string &mem)
+const char *
+serverFor(const std::string &mem)
 {
-    return melody::Platform(
-        mem == "CXL-D" ? "EMR2S'" : "EMR2S", mem);
-}
-
-double
-peakOf(const std::string &mem)
-{
-    if (mem == "Local")
-        return 246;
-    if (mem == "NUMA")
-        return 120;
-    if (mem == "CXL-A")
-        return 32;
-    if (mem == "CXL-B")
-        return 26;
-    if (mem == "CXL-C")
-        return 21;
-    return 59;
+    return mem == "CXL-D" ? "EMR2S'" : "EMR2S";
 }
 
 }  // namespace
 
-int
-main()
+namespace figs {
+
+void
+buildFig03(sweep::Sweep &S)
 {
-    bench::header("Figure 3", "CXL (tail) latencies and bandwidth");
+    S.text(bench::headerText("Figure 3",
+                             "CXL (tail) latencies and bandwidth"));
 
-    bench::section("(a) loaded latency vs bandwidth "
-                   "(MLC delay ladder)");
-    std::printf("%-7s %10s %10s %10s %10s\n", "Setup", "delay(cyc)",
-                "BW(GB/s)", "avg(ns)", "p99.9(ns)");
+    S.text(bench::sectionText("(a) loaded latency vs bandwidth "
+                              "(MLC delay ladder)"));
+    S.textf("%-7s %10s %10s %10s %10s\n", "Setup", "delay(cyc)",
+            "BW(GB/s)", "avg(ns)", "p99.9(ns)");
     for (const char *mem : kSetups) {
-        melody::Platform plat = platFor(mem);
-        melody::MlcConfig cfg;
-        cfg.readFrac = 1.0;
-        cfg.windowUs = 200;
-        cfg.warmupUs = 50;
-        const auto pts = melody::mlcSweep(
-            [&] { return plat.makeBackend(11); }, cfg,
-            {20000, 5000, 1200, 500, 200, 80, 0});
-        for (const auto &p : pts)
-            std::printf("%-7s %10.0f %10.2f %10.0f %10.0f\n", mem,
-                        p.delayCycles, p.gbps, p.avgNs, p.p999Ns);
+        S.point(std::string("a|") + mem + "|seed=11",
+                [mem](sweep::Emit &out) {
+                    melody::Platform plat(serverFor(mem), mem);
+                    melody::MlcConfig cfg;
+                    cfg.readFrac = 1.0;
+                    cfg.windowUs = 200;
+                    cfg.warmupUs = 50;
+                    const auto pts = melody::mlcSweep(
+                        [&] { return plat.makeBackend(11); }, cfg,
+                        {20000, 5000, 1200, 500, 200, 80, 0});
+                    for (const auto &p : pts)
+                        out.printf(
+                            "%-7s %10.0f %10.2f %10.0f %10.0f\n",
+                            mem, p.delayCycles, p.gbps, p.avgNs,
+                            p.p999Ns);
+                });
     }
 
-    bench::section("(b) pointer-chase latency CDFs, 1-32 threads "
-                   "(prefetchers off)");
-    std::printf("%-7s %4s %8s %8s %8s %9s %9s\n", "Setup", "thr",
-                "p50", "p99", "p99.9", "p99.99", "max(ns)");
+    S.text(bench::sectionText(
+        "(b) pointer-chase latency CDFs, 1-32 threads "
+        "(prefetchers off)"));
+    S.textf("%-7s %4s %8s %8s %8s %9s %9s\n", "Setup", "thr", "p50",
+            "p99", "p99.9", "p99.99", "max(ns)");
     for (const char *mem : kSetups) {
-        melody::Platform plat = platFor(mem);
         for (unsigned thr : {1u, 4u, 16u, 32u}) {
-            auto be = plat.makeBackend(13);
-            const auto r = melody::mioChaseDirect(
-                be.get(), thr, 60000 / thr + 4000);
-            std::printf("%-7s %4u %8.0f %8.0f %8.0f %9.0f %9.0f\n",
-                        mem, thr, r.latencyNs.percentile(0.5),
-                        r.latencyNs.percentile(0.99),
-                        r.latencyNs.percentile(0.999),
-                        r.latencyNs.percentile(0.9999),
-                        r.latencyNs.max());
+            S.point(std::string("b|") + mem + "|thr=" +
+                        std::to_string(thr) + "|seed=13",
+                    [mem, thr](sweep::Emit &out) {
+                        melody::Platform plat(serverFor(mem), mem);
+                        auto be = plat.makeBackend(13);
+                        const auto r = melody::mioChaseDirect(
+                            be.get(), thr, 60000 / thr + 4000);
+                        out.printf(
+                            "%-7s %4u %8.0f %8.0f %8.0f %9.0f "
+                            "%9.0f\n",
+                            mem, thr, r.latencyNs.percentile(0.5),
+                            r.latencyNs.percentile(0.99),
+                            r.latencyNs.percentile(0.999),
+                            r.latencyNs.percentile(0.9999),
+                            r.latencyNs.max());
+                    });
         }
     }
 
-    bench::section("(c) p99.9-p50 tail gap vs bandwidth utilization "
-                   "(background readers)");
-    std::printf("%-7s %8s %10s %12s\n", "Setup", "util(%)",
-                "BW(GB/s)", "p99.9-p50(ns)");
+    S.text(bench::sectionText(
+        "(c) p99.9-p50 tail gap vs bandwidth utilization "
+        "(background readers)"));
+    S.textf("%-7s %8s %10s %12s\n", "Setup", "util(%)", "BW(GB/s)",
+            "p99.9-p50(ns)");
     for (const char *mem : kSetups) {
-        melody::Platform plat = platFor(mem);
         for (double pace : {3000.0, 500.0, 120.0, 30.0, 0.0}) {
-            auto be = plat.makeBackend(17);
-            melody::MioNoise noise;
-            noise.threads = 24;
-            noise.slotsPerThread = 8;
-            noise.readFrac = 1.0;
-            noise.paceNs = pace;
-            const auto r = melody::mioChaseDirect(
-                be.get(), 1, 25000, noise, peakOf(mem));
-            std::printf("%-7s %8.0f %10.2f %12.0f\n", mem,
-                        100.0 * r.utilization, r.gbps,
-                        r.latencyNs.percentile(0.999) -
-                            r.latencyNs.percentile(0.5));
+            S.point(std::string("c|") + mem + "|pace=" +
+                        stats::Table::num(pace, 0) + "|seed=17",
+                    [mem, pace](sweep::Emit &out) {
+                        melody::Platform plat(serverFor(mem), mem);
+                        auto be = plat.makeBackend(17);
+                        melody::MioNoise noise;
+                        noise.threads = 24;
+                        noise.slotsPerThread = 8;
+                        noise.readFrac = 1.0;
+                        noise.paceNs = pace;
+                        const auto r = melody::mioChaseDirect(
+                            be.get(), 1, 25000, noise,
+                            melody::paperPeakGBps(serverFor(mem),
+                                                  mem));
+                        out.printf(
+                            "%-7s %8.0f %10.2f %12.0f\n", mem,
+                            100.0 * r.utilization, r.gbps,
+                            r.latencyNs.percentile(0.999) -
+                                r.latencyNs.percentile(0.5));
+                    });
         }
     }
-    std::printf("\nPaper shape: local/NUMA stay stable to ~90%% "
-                "utilization; CXL-A/D tails grow from ~30%%/70%%; "
-                "CXL-B/C show us-level tails even at low load.\n");
-    return 0;
+    S.text("\nPaper shape: local/NUMA stay stable to ~90% "
+           "utilization; CXL-A/D tails grow from ~30%/70%; "
+           "CXL-B/C show us-level tails even at low load.\n");
 }
+
+}  // namespace figs

@@ -7,40 +7,52 @@
  */
 
 #include "bench/common.hh"
+#include "bench/figures.hh"
 #include "core/mio.hh"
 
 using namespace cxlsim;
 
-int
-main()
-{
-    bench::header("Figure 4",
-                  "Latency CDFs under read/write noise threads");
+namespace figs {
 
-    std::printf("%-7s %8s %8s %8s %8s %9s\n", "Setup", "#noise",
-                "p50(ns)", "p99", "p99.9", "p99.99");
+void
+buildFig04(sweep::Sweep &S)
+{
+    S.text(bench::headerText(
+        "Figure 4", "Latency CDFs under read/write noise threads"));
+
+    S.textf("%-7s %8s %8s %8s %8s %9s\n", "Setup", "#noise",
+            "p50(ns)", "p99", "p99.9", "p99.99");
     for (const char *mem :
          {"Local", "NUMA", "CXL-A", "CXL-B", "CXL-C", "CXL-D"}) {
-        melody::Platform plat(
-            std::string(mem) == "CXL-D" ? "EMR2S'" : "EMR2S", mem);
         for (unsigned threads : {0u, 1u, 3u, 5u, 7u}) {
-            auto be = plat.makeBackend(23);
-            melody::MioNoise noise;
-            noise.threads = threads;
-            noise.readFrac = 0.5;
-            noise.paceNs = 400.0;  // below device saturation
-            noise.slotsPerThread = 2;
-            const auto r =
-                melody::mioChaseDirect(be.get(), 1, 30000, noise);
-            std::printf("%-7s %8u %8.0f %8.0f %8.0f %9.0f\n", mem,
-                        threads, r.latencyNs.percentile(0.5),
-                        r.latencyNs.percentile(0.99),
-                        r.latencyNs.percentile(0.999),
-                        r.latencyNs.percentile(0.9999));
+            S.point(std::string(mem) + "|noise=" +
+                        std::to_string(threads) + "|seed=23",
+                    [mem, threads](sweep::Emit &out) {
+                        melody::Platform plat(
+                            std::string(mem) == "CXL-D" ? "EMR2S'"
+                                                        : "EMR2S",
+                            mem);
+                        auto be = plat.makeBackend(23);
+                        melody::MioNoise noise;
+                        noise.threads = threads;
+                        noise.readFrac = 0.5;
+                        noise.paceNs = 400.0;  // below saturation
+                        noise.slotsPerThread = 2;
+                        const auto r = melody::mioChaseDirect(
+                            be.get(), 1, 30000, noise);
+                        out.printf(
+                            "%-7s %8u %8.0f %8.0f %8.0f %9.0f\n",
+                            mem, threads,
+                            r.latencyNs.percentile(0.5),
+                            r.latencyNs.percentile(0.99),
+                            r.latencyNs.percentile(0.999),
+                            r.latencyNs.percentile(0.9999));
+                    });
         }
     }
-    std::printf("\nPaper shape: local and NUMA CDFs barely move with "
-                "noise threads; CXL-A/B/C tails worsen as noise "
-                "rises (Finding #1c).\n");
-    return 0;
+    S.text("\nPaper shape: local and NUMA CDFs barely move with "
+           "noise threads; CXL-A/B/C tails worsen as noise "
+           "rises (Finding #1c).\n");
 }
+
+}  // namespace figs

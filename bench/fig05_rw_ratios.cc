@@ -8,15 +8,18 @@
  */
 
 #include "bench/common.hh"
+#include "bench/figures.hh"
 #include "core/mlc.hh"
 
 using namespace cxlsim;
 
-int
-main()
+namespace figs {
+
+void
+buildFig05(sweep::Sweep &S)
 {
-    bench::header("Figure 5",
-                  "Latency-BW curves under read/write ratios");
+    S.text(bench::headerText(
+        "Figure 5", "Latency-BW curves under read/write ratios"));
 
     struct Ratio
     {
@@ -27,43 +30,63 @@ main()
                             {"3:1", 0.75}, {"2:1", 0.667},
                             {"3:2", 0.6},  {"1:1", 0.5}};
 
-    std::printf("%-7s %5s %12s %12s   (peak over the delay sweep)\n",
-                "Setup", "R:W", "PeakBW(GB/s)", "lat@peak(ns)");
+    S.textf("%-7s %5s %12s %12s   (peak over the delay sweep)\n",
+            "Setup", "R:W", "PeakBW(GB/s)", "lat@peak(ns)");
     for (const char *mem :
          {"Local", "NUMA", "CXL-A", "CXL-B", "CXL-C", "CXL-D"}) {
-        melody::Platform plat(
-            std::string(mem) == "CXL-D" ? "EMR2S'" : "EMR2S", mem);
-        double bestRead = 0.0;
-        double bestMixed = 0.0;
+        // Slot 0: the printed row; slot 1: hidden hexfloat peak
+        // feeding the per-setup verdict gather below.
+        std::vector<sweep::Sweep::SlotRef> peaks;
         for (const auto &r : ratios) {
-            melody::MlcConfig cfg;
-            cfg.readFrac = r.readFrac;
-            cfg.windowUs = 200;
-            cfg.warmupUs = 50;
-            const auto pts = melody::mlcSweep(
-                [&] { return plat.makeBackend(29); }, cfg,
-                {2000, 300, 0});
-            double peak = 0.0, latAtPeak = 0.0;
-            for (const auto &p : pts)
-                if (p.gbps > peak) {
-                    peak = p.gbps;
-                    latAtPeak = p.avgNs;
-                }
-            std::printf("%-7s %5s %12.2f %12.0f\n", mem, r.label,
-                        peak, latAtPeak);
-            if (r.readFrac == 1.0)
-                bestRead = peak;
-            else
-                bestMixed = std::max(bestMixed, peak);
+            const std::size_t id = S.point(
+                std::string(mem) + "|ratio=" + r.label + "|seed=29",
+                2, [mem, r](sweep::Emit *slots) {
+                    melody::Platform plat(
+                        std::string(mem) == "CXL-D" ? "EMR2S'"
+                                                    : "EMR2S",
+                        mem);
+                    melody::MlcConfig cfg;
+                    cfg.readFrac = r.readFrac;
+                    cfg.windowUs = 200;
+                    cfg.warmupUs = 50;
+                    const auto pts = melody::mlcSweep(
+                        [&] { return plat.makeBackend(29); }, cfg,
+                        {2000, 300, 0});
+                    double peak = 0.0, latAtPeak = 0.0;
+                    for (const auto &p : pts)
+                        if (p.gbps > peak) {
+                            peak = p.gbps;
+                            latAtPeak = p.avgNs;
+                        }
+                    slots[0].printf("%-7s %5s %12.2f %12.0f\n", mem,
+                                    r.label, peak, latAtPeak);
+                    slots[1].hexDoubles({peak});
+                });
+            S.place(id, 0);
+            peaks.push_back({id, 1});
         }
-        std::printf("%-7s       read-only peak %.1f vs best mixed "
-                    "%.1f -> %s\n",
-                    mem, bestRead, bestMixed,
-                    bestRead > bestMixed ? "READ-ONLY BEST"
-                                         : "MIXED BEST");
+        S.gather(peaks, [mem](const std::vector<std::string> &inputs,
+                              sweep::Emit &out) {
+            // Input order matches `ratios`; index 0 is read-only.
+            double bestRead = 0.0, bestMixed = 0.0;
+            for (std::size_t i = 0; i < inputs.size(); ++i) {
+                const double peak =
+                    sweep::parseHexDoubles(inputs[i]).at(0);
+                if (i == 0)
+                    bestRead = peak;
+                else
+                    bestMixed = std::max(bestMixed, peak);
+            }
+            out.printf("%-7s       read-only peak %.1f vs best "
+                       "mixed %.1f -> %s\n",
+                       mem, bestRead, bestMixed,
+                       bestRead > bestMixed ? "READ-ONLY BEST"
+                                            : "MIXED BEST");
+        });
     }
-    std::printf("\nPaper shape: Local read-only best; NUMA + ASIC "
-                "CXL (A/B/D) mixed best;\nFPGA CXL-C read-only best "
-                "(Finding #1e).\n");
-    return 0;
+    S.text("\nPaper shape: Local read-only best; NUMA + ASIC "
+           "CXL (A/B/D) mixed best;\nFPGA CXL-C read-only best "
+           "(Finding #1e).\n");
 }
+
+}  // namespace figs

@@ -6,48 +6,66 @@
  */
 
 #include "bench/common.hh"
+#include "bench/figures.hh"
 #include "core/mio.hh"
 
 using namespace cxlsim;
 
-int
-main()
-{
-    bench::header("Figure 6",
-                  "Chase latency via CPU, prefetchers ON");
+namespace figs {
 
-    std::printf("%-7s %4s %9s %8s %8s %9s %10s\n", "Setup", "thr",
-                "mean(ns)", "p90", "p99", "p99.9", "p99.99");
+void
+buildFig06(sweep::Sweep &S)
+{
+    S.text(bench::headerText("Figure 6",
+                             "Chase latency via CPU, prefetchers ON"));
+
+    S.textf("%-7s %4s %9s %8s %8s %9s %10s\n", "Setup", "thr",
+            "mean(ns)", "p90", "p99", "p99.9", "p99.99");
     for (const char *mem :
          {"Local", "NUMA", "CXL-A", "CXL-B", "CXL-C", "CXL-D"}) {
-        melody::Platform plat(
-            std::string(mem) == "CXL-D" ? "EMR2S'" : "EMR2S", mem);
         for (unsigned thr : {1u, 8u, 32u}) {
-            auto be = plat.makeBackend(31);
-            const auto r = melody::mioChaseViaCpu(
-                plat.cpu(), be.get(), thr, 60000 / thr + 2000, true);
-            std::printf("%-7s %4u %9.1f %8.0f %8.0f %9.0f %10.0f\n",
-                        mem, thr, r.latencyNs.mean(),
-                        r.latencyNs.percentile(0.9),
-                        r.latencyNs.percentile(0.99),
-                        r.latencyNs.percentile(0.999),
-                        r.latencyNs.percentile(0.9999));
+            S.point(std::string("on|") + mem + "|thr=" +
+                        std::to_string(thr) + "|seed=31",
+                    [mem, thr](sweep::Emit &out) {
+                        melody::Platform plat(
+                            std::string(mem) == "CXL-D" ? "EMR2S'"
+                                                        : "EMR2S",
+                            mem);
+                        auto be = plat.makeBackend(31);
+                        const auto r = melody::mioChaseViaCpu(
+                            plat.cpu(), be.get(), thr,
+                            60000 / thr + 2000, true);
+                        out.printf(
+                            "%-7s %4u %9.1f %8.0f %8.0f %9.0f "
+                            "%10.0f\n",
+                            mem, thr, r.latencyNs.mean(),
+                            r.latencyNs.percentile(0.9),
+                            r.latencyNs.percentile(0.99),
+                            r.latencyNs.percentile(0.999),
+                            r.latencyNs.percentile(0.9999));
+                    });
         }
     }
 
-    bench::section("Prefetchers OFF (reference: raw device latency)");
-    std::printf("%-7s %9s %9s\n", "Setup", "mean(ns)", "p99.9");
+    S.text(bench::sectionText(
+        "Prefetchers OFF (reference: raw device latency)"));
+    S.textf("%-7s %9s %9s\n", "Setup", "mean(ns)", "p99.9");
     for (const char *mem : {"Local", "CXL-B"}) {
-        melody::Platform plat("EMR2S", mem);
-        auto be = plat.makeBackend(31);
-        const auto r = melody::mioChaseViaCpu(plat.cpu(), be.get(),
-                                              2, 20000, false);
-        std::printf("%-7s %9.1f %9.0f\n", mem, r.latencyNs.mean(),
-                    r.latencyNs.percentile(0.999));
+        S.point(std::string("off|") + mem + "|seed=31",
+                [mem](sweep::Emit &out) {
+                    melody::Platform plat("EMR2S", mem);
+                    auto be = plat.makeBackend(31);
+                    const auto r = melody::mioChaseViaCpu(
+                        plat.cpu(), be.get(), 2, 20000, false);
+                    out.printf("%-7s %9.1f %9.0f\n", mem,
+                               r.latencyNs.mean(),
+                               r.latencyNs.percentile(0.999));
+                });
     }
-    std::printf("\nPaper shape: with prefetchers on, means collapse "
-                "toward cache latency for all setups, but CXL "
-                "devices keep heavy tails (prefetching is "
-                "insufficient to hide CXL-induced latencies).\n");
-    return 0;
+    S.text("\nPaper shape: with prefetchers on, means collapse "
+           "toward cache latency for all setups, but CXL "
+           "devices keep heavy tails (prefetching is "
+           "insufficient to hide CXL-induced latencies).\n");
 }
+
+}  // namespace figs

@@ -7,19 +7,25 @@
  *      growth with latency).
  */
 
+#include <memory>
+
 #include "bench/common.hh"
+#include "bench/figures.hh"
 
 using namespace cxlsim;
 
-int
-main()
+namespace figs {
+
+void
+buildFig09(sweep::Sweep &S)
 {
-    bench::header("Figure 9", "Slowdowns across the latency spectrum");
-    melody::SlowdownStudy study(999);
+    S.text(bench::headerText(
+        "Figure 9", "Slowdowns across the latency spectrum"));
+    auto study = std::make_shared<melody::SlowdownStudy>(999);
     const auto &all = workloads::suite();
 
-    bench::section("(a) violin summaries per setup "
-                   "(suite, every 2nd workload)");
+    S.text(bench::sectionText("(a) violin summaries per setup "
+                              "(suite, every 2nd workload)"));
     struct Setup
     {
         const char *label;
@@ -39,8 +45,8 @@ main()
         {"EMR-CXL-C", "EMR2S", "CXL-C"},
         {"SKX-410ns", "SKX8S", "NUMA-410ns"},
     };
-    std::printf("%-11s %7s %7s %7s %7s %8s %8s\n", "Setup", "min",
-                "p25", "p50", "p75", "max", "mean");
+    S.textf("%-11s %7s %7s %7s %7s %8s %8s\n", "Setup", "min", "p25",
+            "p50", "p75", "max", "mean");
     for (const auto &su : setups) {
         std::vector<workloads::WorkloadProfile> sub;
         if (std::string(su.memory) == "CXL-C") {
@@ -50,33 +56,44 @@ main()
             for (std::size_t i = 0; i < all.size(); i += 2)
                 sub.push_back(bench::scaled(all[i], 30000));
         }
-        std::vector<double> s =
-            study.slowdownBatch(sub, su.server, su.memory);
-        const auto v = stats::violinSummary(s);
-        std::printf("%-11s %7.1f %7.1f %7.1f %7.1f %8.1f %8.1f\n",
-                    su.label, v.min, v.p25, v.median, v.p75, v.max,
-                    v.mean);
+        S.point(std::string("a|") + su.label + "|n=" +
+                    std::to_string(sub.size()) + "|seed=999",
+                [study, sub, su](sweep::Emit &out) {
+                    std::vector<double> s = study->slowdownBatch(
+                        sub, su.server, su.memory);
+                    const auto v = stats::violinSummary(s);
+                    out.printf(
+                        "%-11s %7.1f %7.1f %7.1f %7.1f %8.1f "
+                        "%8.1f\n",
+                        su.label, v.min, v.p25, v.median, v.p75,
+                        v.max, v.mean);
+                });
     }
-    std::printf("Paper: slowdowns worsen toward 410ns, yet 16%% of "
-                "workloads stay <10%% and 30%% <50%% even there.\n");
+    S.text("Paper: slowdowns worsen toward 410ns, yet 16% of "
+           "workloads stay <10% and 30% <50% even there.\n");
 
-    bench::section("(b) YCSB A-F on Redis / VoltDB");
-    std::printf("%-8s %-4s %8s %8s %8s\n", "Store", "mix", "NUMA",
-                "CXL-A", "CXL-B");
+    S.text(bench::sectionText("(b) YCSB A-F on Redis / VoltDB"));
+    S.textf("%-8s %-4s %8s %8s %8s\n", "Store", "mix", "NUMA",
+            "CXL-A", "CXL-B");
     for (const char *store : {"redis", "voltdb"}) {
         for (char mix : {'a', 'b', 'c', 'd', 'e', 'f'}) {
             const std::string name =
                 std::string(store) + "/ycsb-" + mix;
-            const auto &w = workloads::byName(name);
-            std::printf("%-8s %-4c %7.1f%% %7.1f%% %7.1f%%\n", store,
-                        mix,
-                        study.slowdown(w, "EMR2S", "NUMA"),
-                        study.slowdown(w, "EMR2S", "CXL-A"),
-                        study.slowdown(w, "EMR2S", "CXL-B"));
+            S.point("b|" + name + "|seed=999",
+                    [study, store, mix, name](sweep::Emit &out) {
+                        const auto &w = workloads::byName(name);
+                        out.printf(
+                            "%-8s %-4c %7.1f%% %7.1f%% %7.1f%%\n",
+                            store, mix,
+                            study->slowdown(w, "EMR2S", "NUMA"),
+                            study->slowdown(w, "EMR2S", "CXL-A"),
+                            study->slowdown(w, "EMR2S", "CXL-B"));
+                    });
         }
     }
-    std::printf("Paper shape: slowdowns grow super-linearly with "
-                "latency (NUMA < CXL-A < CXL-B) for cloud "
-                "workloads.\n");
-    return 0;
+    S.text("Paper shape: slowdowns grow super-linearly with "
+           "latency (NUMA < CXL-A < CXL-B) for cloud "
+           "workloads.\n");
 }
+
+}  // namespace figs

@@ -7,17 +7,23 @@
  *      drop for the SPEC + GAPBS cast of the paper's figure.
  */
 
+#include <memory>
+
 #include "bench/common.hh"
+#include "bench/figures.hh"
 #include "spa/breakdown.hh"
 #include "spa/prefetch_analysis.hh"
 
 using namespace cxlsim;
 
-int
-main()
+namespace figs {
+
+void
+buildFig12(sweep::Sweep &S)
 {
-    bench::header("Figure 12", "Prefetcher inefficiency under CXL");
-    melody::SlowdownStudy study(555);
+    S.text(bench::headerText("Figure 12",
+                             "Prefetcher inefficiency under CXL"));
+    auto study = std::make_shared<melody::SlowdownStudy>(555);
 
     const char *cast[] = {"503.bwaves_r",  "549.fotonik3d_r",
                           "554.roms_r",    "602.gcc_s",
@@ -31,44 +37,68 @@ main()
                           "tc-twitter",    "gpt2-small",
                           "llama-7b-prefill", "spark-terasort"};
 
-    bench::section("(a) L1PF-L3-miss increase vs L2PF-L3-miss "
-                   "decrease (CXL-B vs local)");
-    std::vector<double> xs, ys;
-    std::printf("%-18s %14s %14s\n", "Workload", "L2PF-miss drop",
-                "L1PF-miss rise");
+    // One point per workload: slot 0 = the (a) row, slot 1 =
+    // hidden {decrease, increase} for the Pearson gather, slot 2 =
+    // the (b) row. The run itself is shared by both sections (the
+    // serial bench recomputed it; results are identical).
+    std::vector<std::size_t> ids;
+    std::vector<sweep::Sweep::SlotRef> pairs;
     for (const char *n : cast) {
-        const auto w = bench::scaled(workloads::byName(n), 40000);
-        cpu::RunResult test;
-        study.slowdownWithRun(w, "EMR2S", "CXL-B", &test);
-        const auto d =
-            spa::prefetchDelta(study.baseline(w, "EMR2S"), test);
-        if (d.l2pfL3MissDecrease > 0) {
-            xs.push_back(d.l2pfL3MissDecrease);
-            ys.push_back(d.l1pfL3MissIncrease);
-        }
-        std::printf("%-18s %14.0f %14.0f\n", n,
-                    d.l2pfL3MissDecrease, d.l1pfL3MissIncrease);
+        const std::size_t id = S.point(
+            std::string("wl|") + n + "|seed=555", 3,
+            [study, n](sweep::Emit *slots) {
+                const auto w =
+                    bench::scaled(workloads::byName(n), 40000);
+                cpu::RunResult test;
+                study->slowdownWithRun(w, "EMR2S", "CXL-B", &test);
+                const auto &base = study->baseline(w, "EMR2S");
+                const auto d = spa::prefetchDelta(base, test);
+                const auto b = spa::computeBreakdown(base, test);
+                slots[0].printf("%-18s %14.0f %14.0f\n", n,
+                                d.l2pfL3MissDecrease,
+                                d.l1pfL3MissIncrease);
+                slots[1].hexDoubles(
+                    {d.l2pfL3MissDecrease, d.l1pfL3MissIncrease});
+                slots[2].printf("%-18s %14.1f %16.1f\n", n,
+                                b.l1 + b.l2 + b.l3,
+                                d.coverageDropPct());
+            });
+        ids.push_back(id);
+        pairs.push_back({id, 1});
     }
-    std::printf("Pearson(decrease, increase) = %.3f   slope = %.2f "
-                "(paper: ~0.99, y = x)\n",
-                stats::pearson(xs, ys),
-                stats::regressionSlope(xs, ys));
 
-    bench::section("(b) cache slowdown vs L2PF coverage drop "
-                   "(CXL-B vs local)");
-    std::printf("%-18s %14s %16s\n", "Workload", "cacheSlow(%)",
-                "covDrop(pp)");
-    for (const char *n : cast) {
-        const auto w = bench::scaled(workloads::byName(n), 40000);
-        cpu::RunResult test;
-        study.slowdownWithRun(w, "EMR2S", "CXL-B", &test);
-        const auto &base = study.baseline(w, "EMR2S");
-        const auto b = spa::computeBreakdown(base, test);
-        const auto d = spa::prefetchDelta(base, test);
-        std::printf("%-18s %14.1f %16.1f\n", n,
-                    b.l1 + b.l2 + b.l3, d.coverageDropPct());
-    }
-    std::printf("Paper: coverage drops 2-38%%, correlated with the "
-                "cache-slowdown component (Finding #4).\n");
-    return 0;
+    S.text(bench::sectionText(
+        "(a) L1PF-L3-miss increase vs L2PF-L3-miss "
+        "decrease (CXL-B vs local)"));
+    S.textf("%-18s %14s %14s\n", "Workload", "L2PF-miss drop",
+            "L1PF-miss rise");
+    for (const std::size_t id : ids)
+        S.place(id, 0);
+    S.gather(pairs, [](const std::vector<std::string> &in,
+                       sweep::Emit &out) {
+        std::vector<double> xs, ys;
+        for (const auto &slot : in) {
+            const auto v = sweep::parseHexDoubles(slot);
+            if (v.at(0) > 0) {
+                xs.push_back(v.at(0));
+                ys.push_back(v.at(1));
+            }
+        }
+        out.printf("Pearson(decrease, increase) = %.3f   "
+                   "slope = %.2f (paper: ~0.99, y = x)\n",
+                   stats::pearson(xs, ys),
+                   stats::regressionSlope(xs, ys));
+    });
+
+    S.text(bench::sectionText(
+        "(b) cache slowdown vs L2PF coverage drop "
+        "(CXL-B vs local)"));
+    S.textf("%-18s %14s %16s\n", "Workload", "cacheSlow(%)",
+            "covDrop(pp)");
+    for (const std::size_t id : ids)
+        S.place(id, 2);
+    S.text("Paper: coverage drops 2-38%, correlated with the "
+           "cache-slowdown component (Finding #4).\n");
 }
+
+}  // namespace figs

@@ -5,16 +5,22 @@
  * Store / Core / Other.
  */
 
+#include <memory>
+
 #include "bench/common.hh"
+#include "bench/figures.hh"
 #include "spa/breakdown.hh"
 
 using namespace cxlsim;
 
-int
-main()
+namespace figs {
+
+void
+buildFig14(sweep::Sweep &S)
 {
-    bench::header("Figure 14", "Spa slowdown breakdown per workload");
-    melody::SlowdownStudy study(31337);
+    S.text(bench::headerText("Figure 14",
+                             "Spa slowdown breakdown per workload"));
+    auto study = std::make_shared<melody::SlowdownStudy>(31337);
 
     const char *cast[] = {
         // SPEC CPU 2017
@@ -31,26 +37,33 @@ main()
     };
 
     for (const char *mem : {"NUMA", "CXL-A", "CXL-B"}) {
-        bench::section(std::string("Breakdown on ") + mem);
-        std::printf("%-20s %7s | %6s %5s %5s %5s %6s %5s %6s\n",
-                    "Workload", "S(%)", "DRAM", "L3", "L2", "L1",
-                    "Store", "Core", "Other");
+        S.text(bench::sectionText(std::string("Breakdown on ") +
+                                  mem));
+        S.textf("%-20s %7s | %6s %5s %5s %5s %6s %5s %6s\n",
+                "Workload", "S(%)", "DRAM", "L3", "L2", "L1",
+                "Store", "Core", "Other");
         for (const char *n : cast) {
-            const auto w =
-                bench::scaled(workloads::byName(n), 40000);
-            cpu::RunResult test;
-            study.slowdownWithRun(w, "EMR2S", mem, &test);
-            const auto b = spa::computeBreakdown(
-                study.baseline(w, "EMR2S"), test);
-            std::printf("%-20s %7.1f | %6.1f %5.1f %5.1f %5.1f "
-                        "%6.1f %5.1f %6.1f\n",
-                        n, b.actual, b.dram, b.l3, b.l2, b.l1,
-                        b.store, b.core, b.other);
+            S.point(std::string(mem) + "|" + n + "|seed=31337",
+                    [study, mem, n](sweep::Emit &out) {
+                        const auto w = bench::scaled(
+                            workloads::byName(n), 40000);
+                        cpu::RunResult test;
+                        study->slowdownWithRun(w, "EMR2S", mem,
+                                               &test);
+                        const auto b = spa::computeBreakdown(
+                            study->baseline(w, "EMR2S"), test);
+                        out.printf(
+                            "%-20s %7.1f | %6.1f %5.1f %5.1f "
+                            "%5.1f %6.1f %5.1f %6.1f\n",
+                            n, b.actual, b.dram, b.l3, b.l2, b.l1,
+                            b.store, b.core, b.other);
+                    });
         }
     }
-    std::printf("\nPaper shape: lbm dominated by store-buffer "
-                "stalls; GAPBS and cloud workloads by DRAM demand "
-                "reads; streaming workloads (bwaves, ML) show cache "
-                "components from prefetch-timeliness loss.\n");
-    return 0;
+    S.text("\nPaper shape: lbm dominated by store-buffer "
+           "stalls; GAPBS and cloud workloads by DRAM demand "
+           "reads; streaming workloads (bwaves, ML) show cache "
+           "components from prefetch-timeliness loss.\n");
 }
+
+}  // namespace figs

@@ -5,55 +5,79 @@
  */
 
 #include <algorithm>
+#include <memory>
 
 #include "bench/common.hh"
-#include "sim/parallel.hh"
+#include "bench/figures.hh"
 #include "spa/breakdown.hh"
 
 using namespace cxlsim;
 
-int
-main()
+namespace figs {
+
+void
+buildFig15(sweep::Sweep &S)
 {
-    bench::header("Figure 15",
-                  "Slowdown-component CDFs across the suite (CXL-A)");
-    melody::SlowdownStudy study(808);
+    S.text(bench::headerText(
+        "Figure 15",
+        "Slowdown-component CDFs across the suite (CXL-A)"));
+    auto study = std::make_shared<melody::SlowdownStudy>(808);
     const auto &all = workloads::suite();
 
     std::vector<workloads::WorkloadProfile> sub;
     for (std::size_t i = 0; i < all.size(); i += 2)
         sub.push_back(bench::scaled(all[i], 30000));
-    std::vector<double> store(sub.size()), l1(sub.size()),
-        l2(sub.size()), l3(sub.size()), dram(sub.size());
-    parallelFor(sub.size(), [&](std::size_t i) {
-        cpu::RunResult test;
-        study.slowdownWithRun(sub[i], "EMR2S", "CXL-A", &test);
-        const auto b = spa::computeBreakdown(
-            study.baseline(sub[i], "EMR2S"), test);
-        store[i] = std::max(0.0, b.store);
-        l1[i] = std::max(0.0, b.l1);
-        l2[i] = std::max(0.0, b.l2);
-        l3[i] = std::max(0.0, b.l3);
-        dram[i] = std::max(0.0, b.dram);
+    // One hidden point per workload carrying the five component
+    // contributions; the gather prints the suite-wide CDF lines.
+    std::vector<sweep::Sweep::SlotRef> comps;
+    for (const auto &w : sub) {
+        const std::size_t id = S.point(
+            std::string("comp|") + w.name + "|blocks=" +
+                std::to_string(w.blocksPerCore) + "|seed=808",
+            1, [study, w](sweep::Emit *slots) {
+                cpu::RunResult test;
+                study->slowdownWithRun(w, "EMR2S", "CXL-A", &test);
+                const auto b = spa::computeBreakdown(
+                    study->baseline(w, "EMR2S"), test);
+                slots[0].hexDoubles({std::max(0.0, b.store),
+                                     std::max(0.0, b.l1),
+                                     std::max(0.0, b.l2),
+                                     std::max(0.0, b.l3),
+                                     std::max(0.0, b.dram)});
+            });
+        comps.push_back({id, 0});
+    }
+
+    S.gather(comps, [](const std::vector<std::string> &in,
+                       sweep::Emit &out) {
+        std::vector<double> store, l1, l2, l3, dram;
+        for (const auto &slot : in) {
+            const auto v = sweep::parseHexDoubles(slot);
+            store.push_back(v.at(0));
+            l1.push_back(v.at(1));
+            l2.push_back(v.at(2));
+            l3.push_back(v.at(3));
+            dram.push_back(v.at(4));
+        }
+        auto line = [&](const char *tag, std::vector<double> v) {
+            out.printf(
+                "%-6s  >1%%: %5.1f%%   >5%%: %5.1f%%   "
+                ">10%%: %5.1f%%   p90=%6.1f   max=%7.1f\n",
+                tag, 100 * (1 - stats::fractionBelow(v, 1.0)),
+                100 * (1 - stats::fractionBelow(v, 5.0)),
+                100 * (1 - stats::fractionBelow(v, 10.0)),
+                stats::quantile(v, 0.9), stats::quantile(v, 1.0));
+        };
+        line("Store", store);
+        line("L1", l1);
+        line("L2", l2);
+        line("L3", l3);
+        line("DRAM", dram);
     });
 
-    auto line = [&](const char *tag, std::vector<double> v) {
-        std::printf("%-6s  >1%%: %5.1f%%   >5%%: %5.1f%%   "
-                    ">10%%: %5.1f%%   p90=%6.1f   max=%7.1f\n",
-                    tag,
-                    100 * (1 - stats::fractionBelow(v, 1.0)),
-                    100 * (1 - stats::fractionBelow(v, 5.0)),
-                    100 * (1 - stats::fractionBelow(v, 10.0)),
-                    stats::quantile(v, 0.9), stats::quantile(v, 1.0));
-    };
-    line("Store", store);
-    line("L1", l1);
-    line("L2", l2);
-    line("L3", l3);
-    line("DRAM", dram);
-
-    std::printf("\nPaper: at least 15%% of workloads see >=5%% cache "
-                "slowdown (reduced prefetcher efficiency); at least "
-                "40%% see >=5%% demand-read (DRAM) slowdown.\n");
-    return 0;
+    S.text("\nPaper: at least 15% of workloads see >=5% cache "
+           "slowdown (reduced prefetcher efficiency); at least "
+           "40% see >=5% demand-read (DRAM) slowdown.\n");
 }
+
+}  // namespace figs

@@ -7,56 +7,69 @@
  */
 
 #include "bench/common.hh"
+#include "bench/figures.hh"
 #include "spa/period.hh"
 
 using namespace cxlsim;
 
-int
-main()
+namespace figs {
+
+void
+buildFig16(sweep::Sweep &S)
 {
-    bench::header("Figure 16",
-                  "Period-based slowdown breakdown (CXL-B)");
+    S.text(bench::headerText(
+        "Figure 16", "Period-based slowdown breakdown (CXL-B)"));
 
     for (const char *name :
          {"602.gcc_s", "605.mcf_s", "631.deepsjeng_s"}) {
-        bench::section(name);
-        auto w = workloads::byName(name);
-        w.blocksPerCore = 150000;
-        melody::Platform lp("EMR2S", "Local");
-        melody::Platform tp("EMR2S", "CXL-B");
-        const auto base =
-            melody::runWorkload(w, lp, 616, true, usToTicks(15));
-        const auto test =
-            melody::runWorkload(w, tp, 616, true, usToTicks(15));
+        S.text(bench::sectionText(name));
+        S.point(std::string("periods|") + name +
+                    "|blocks=150000|seed=616",
+                [name](sweep::Emit &out) {
+                    auto w = workloads::byName(name);
+                    w.blocksPerCore = 150000;
+                    melody::Platform lp("EMR2S", "Local");
+                    melody::Platform tp("EMR2S", "CXL-B");
+                    const auto base = melody::runWorkload(
+                        w, lp, 616, true, usToTicks(15));
+                    const auto test = melody::runWorkload(
+                        w, tp, 616, true, usToTicks(15));
 
-        const double total = base.counters.instructions;
-        const auto periods = spa::periodAnalysis(
-            base.samples, test.samples, total / 24.0);
+                    const double total =
+                        base.counters.instructions;
+                    const auto periods = spa::periodAnalysis(
+                        base.samples, test.samples, total / 24.0);
 
-        std::printf("%-4s %8s | %6s %5s %5s %5s %6s %6s\n", "per",
-                    "S(%)", "DRAM", "L3", "L2", "L1", "Store",
-                    "Other");
-        double sum = 0;
-        for (const auto &p : periods) {
-            const auto &b = p.breakdown;
-            std::printf("%-4llu %8.1f | %6.1f %5.1f %5.1f %5.1f "
-                        "%6.1f %6.1f\n",
-                        static_cast<unsigned long long>(
-                            p.periodIndex),
-                        b.actual, b.dram, b.l3, b.l2, b.l1, b.store,
-                        b.other + b.core);
-            sum += b.actual;
-        }
-        if (!periods.empty())
-            std::printf("mean period slowdown: %.1f%%  (overall "
-                        "workload slowdown: %.1f%%)\n",
-                        sum / periods.size(),
-                        (static_cast<double>(test.wallTicks) /
-                             base.wallTicks -
-                         1.0) * 100.0);
+                    out.printf(
+                        "%-4s %8s | %6s %5s %5s %5s %6s %6s\n",
+                        "per", "S(%)", "DRAM", "L3", "L2", "L1",
+                        "Store", "Other");
+                    double sum = 0;
+                    for (const auto &p : periods) {
+                        const auto &b = p.breakdown;
+                        out.printf(
+                            "%-4llu %8.1f | %6.1f %5.1f %5.1f "
+                            "%5.1f %6.1f %6.1f\n",
+                            static_cast<unsigned long long>(
+                                p.periodIndex),
+                            b.actual, b.dram, b.l3, b.l2, b.l1,
+                            b.store, b.other + b.core);
+                        sum += b.actual;
+                    }
+                    if (!periods.empty())
+                        out.printf(
+                            "mean period slowdown: %.1f%%  "
+                            "(overall workload slowdown: "
+                            "%.1f%%)\n",
+                            sum / periods.size(),
+                            (static_cast<double>(test.wallTicks) /
+                                 base.wallTicks -
+                             1.0) * 100.0);
+                });
     }
-    std::printf("\nPaper shape: 602.gcc heavy during the first "
-                "two-thirds then light; 605.mcf bursty throughout; "
-                "631.deepsjeng moderate fluctuations (Finding #5).\n");
-    return 0;
+    S.text("\nPaper shape: 602.gcc heavy during the first "
+           "two-thirds then light; 605.mcf bursty throughout; "
+           "631.deepsjeng moderate fluctuations (Finding #5).\n");
 }
+
+}  // namespace figs

@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Shared main() for the standalone figure binaries: each target
+ * compiles this file with MELODY_FIGURE_BINARY set to its
+ * registered binary name (see bench/CMakeLists.txt).
+ */
+
+#include "bench/figures.hh"
+
+int
+main()
+{
+    return figs::figureMain(MELODY_FIGURE_BINARY);
+}

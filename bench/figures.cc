@@ -1,0 +1,92 @@
+#include "bench/figures.hh"
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace figs {
+
+const std::vector<Figure> &
+all()
+{
+    // Explicit table (no static self-registration: these objects
+    // live in a static library, where unreferenced registrars are
+    // dropped by the linker). Suite order = paper order.
+    static const std::vector<Figure> kFigures = {
+        {"fig01", "fig01_spectrum",
+         "Sub-us CXL latency/bandwidth spectrum", buildFig01},
+        {"table1", "table1_testbed",
+         "Testbed latency/bandwidth calibration", buildTable1},
+        {"fig03", "fig03_loaded_latency",
+         "CXL (tail) latencies and bandwidth", buildFig03},
+        {"fig04", "fig04_noise",
+         "Latency under co-located bandwidth noise", buildFig04},
+        {"fig05", "fig05_rw_ratios",
+         "Bandwidth across read:write ratios", buildFig05},
+        {"fig06", "fig06_prefetch_latency",
+         "Prefetcher impact on average latency", buildFig06},
+        {"fig07", "fig07_real_workloads",
+         "Real-workload slowdowns on CXL", buildFig07},
+        {"fig08", "fig08_slowdowns",
+         "Slowdown CDFs across the suite", buildFig08},
+        {"fig09", "fig09_latency_spectrum",
+         "Slowdown vs latency spectrum", buildFig09},
+        {"fig11", "fig11_spa_accuracy",
+         "Spa model accuracy", buildFig11},
+        {"fig12", "fig12_prefetch_coverage",
+         "Prefetch coverage vs slowdown", buildFig12},
+        {"fig14", "fig14_breakdown",
+         "Slowdown breakdown by component", buildFig14},
+        {"fig15", "fig15_breakdown_cdf",
+         "Breakdown CDFs across the suite", buildFig15},
+        {"fig16", "fig16_period_analysis",
+         "Phase/period analysis", buildFig16},
+        {"usecase", "usecase_tuning",
+         "Tuning use case: pinning fraction", buildUsecaseTuning},
+        {"ablation-prefetch", "ablation_prefetch",
+         "Ablation: prefetcher model", buildAblationPrefetch},
+        {"ablation-tails", "ablation_tails",
+         "Ablation: tail injection", buildAblationTails},
+        {"ablation-mlp", "ablation_mlp",
+         "Ablation: MLP limits", buildAblationMlp},
+        {"ablation-emulation", "ablation_emulation",
+         "Ablation: NUMA-emulation fidelity", buildAblationEmulation},
+        {"pooling", "pooling_interference",
+         "Pooled-device interference", buildPoolingInterference},
+        {"prediction", "prediction_accuracy",
+         "Slowdown-prediction accuracy", buildPredictionAccuracy},
+        {"tiering", "tiering_policies",
+         "Tiering-policy comparison", buildTieringPolicies},
+    };
+    return kFigures;
+}
+
+const Figure *
+find(const std::string &nameOrBinary)
+{
+    for (const Figure &f : all())
+        if (nameOrBinary == f.name || nameOrBinary == f.binary)
+            return &f;
+    return nullptr;
+}
+
+int
+figureMain(const char *binary)
+{
+    using namespace cxlsim;
+    const Figure *fig = find(binary);
+    SIM_ASSERT(fig != nullptr,
+               std::string("unregistered figure binary: ") + binary);
+    try {
+        sweep::Sweep s(fig->binary, sweep::optionsFromEnv());
+        s.scope(fig->binary);
+        fig->build(s);
+        s.run(stdout);
+    } catch (const ConfigError &e) {
+        std::fprintf(stderr, "%s: %s\n", binary, e.what());
+        return 2;
+    }
+    return 0;
+}
+
+}  // namespace figs

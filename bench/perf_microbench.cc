@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "cpu/cache.hh"
 #include "cpu/multicore.hh"
 #include "core/platform.hh"
@@ -14,6 +16,7 @@
 #include "dram/channel.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
+#include "sim/sweep.hh"
 #include "workloads/suite.hh"
 #include "workloads/synthetic_kernel.hh"
 
@@ -112,4 +115,57 @@ BM_WorkloadSimulation(benchmark::State &state)
 }
 BENCHMARK(BM_WorkloadSimulation);
 
-BENCHMARK_MAIN();
+static void
+BM_SweepEngine(benchmark::State &state)
+{
+    // Engine overhead in isolation: many near-trivial points plus a
+    // gather, cache off, rendered to a string. Measures declaration,
+    // fan-out over the worker pool, slot buffering, and ordered
+    // render — not simulation work.
+    constexpr std::size_t kPoints = 256;
+    for (auto _ : state) {
+        sweep::Options opts;
+        opts.cache = false;
+        sweep::Sweep s("bm-sweep-engine", opts);
+        s.scope("bm");
+        std::vector<sweep::Sweep::SlotRef> refs;
+        for (std::size_t i = 0; i < kPoints; ++i) {
+            const std::size_t id = s.point(
+                "p|" + std::to_string(i), 1,
+                [i](sweep::Emit *slots) {
+                    slots[0].hexDoubles({static_cast<double>(i),
+                                         static_cast<double>(i) * 0.5});
+                });
+            refs.push_back({id, 0});
+        }
+        s.gather(refs, [](const std::vector<std::string> &in,
+                          sweep::Emit &out) {
+            double sum = 0;
+            for (const auto &slot : in)
+                sum += sweep::parseHexDoubles(slot).at(1);
+            out.printf("sum %.3f\n", sum);
+        });
+        const std::string rendered = s.renderToString();
+        benchmark::DoNotOptimize(rendered.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kPoints);
+    state.counters["sweep_points_per_second"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * kPoints,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SweepEngine);
+
+int
+main(int argc, char **argv)
+{
+    // Recorded into the JSON context so scripts/run_bench.py can
+    // refuse to baseline numbers from a non-Release build.
+    benchmark::AddCustomContext("cxlsim_build_type",
+                                MELODY_BUILD_TYPE);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

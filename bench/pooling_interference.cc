@@ -10,6 +10,7 @@
  */
 
 #include "bench/common.hh"
+#include "bench/figures.hh"
 #include "cxl/pool.hh"
 #include "sim/rng.hh"
 #include "stats/histogram.hh"
@@ -106,31 +107,41 @@ policyName(PoolArbitration p)
 
 }  // namespace
 
-int
-main()
-{
-    bench::header("Pooling",
-                  "Noisy-neighbour QoS on a multi-headed CXL pool");
+namespace figs {
 
-    std::printf("%-12s %12s %10s %10s %12s\n", "policy",
-                "bullyLoad", "A p50(ns)", "A p99.9", "bully GB/s");
+void
+buildPoolingInterference(sweep::Sweep &S)
+{
+    S.text(bench::headerText(
+        "Pooling", "Noisy-neighbour QoS on a multi-headed CXL pool"));
+
+    S.textf("%-12s %12s %10s %10s %12s\n", "policy", "bullyLoad",
+            "A p50(ns)", "A p99.9", "bully GB/s");
     for (auto policy :
          {PoolArbitration::kNone, PoolArbitration::kRoundRobin,
           PoolArbitration::kWeighted}) {
         for (double pace : {100000.0, 500.0, 50.0, 0.0}) {
-            const auto r = runScenario(policy, pace, 77);
-            std::printf("%-12s %11.0fns %10.0f %10.0f %12.2f\n",
-                        policyName(policy), pace, r.p50, r.p999,
-                        r.bullyGbps);
+            S.point(std::string("scenario|") + policyName(policy) +
+                        "|pace=" + stats::Table::num(pace, 0) +
+                        "|seed=77",
+                    [policy, pace](sweep::Emit &out) {
+                        const auto r = runScenario(policy, pace, 77);
+                        out.printf(
+                            "%-12s %11.0fns %10.0f %10.0f "
+                            "%12.2f\n",
+                            policyName(policy), pace, r.p50, r.p999,
+                            r.bullyGbps);
+                    });
         }
     }
-    std::printf("\nTwo findings: (1) a streaming neighbour inflates "
-                "the latency tenant's p99.9 ~3x even though the "
-                "device is NOT saturated — the load-coupled hiccup "
-                "behaviour of Finding #1 surfacing as cross-tenant "
-                "interference; (2) credit-based fair sharing bounds "
-                "the bully's queue occupancy (and throughput) — the "
-                "QoS knob Recommendation #1 asks CXL controllers "
-                "to expose.\n");
-    return 0;
+    S.text("\nTwo findings: (1) a streaming neighbour inflates "
+           "the latency tenant's p99.9 ~3x even though the "
+           "device is NOT saturated — the load-coupled hiccup "
+           "behaviour of Finding #1 surfacing as cross-tenant "
+           "interference; (2) credit-based fair sharing bounds "
+           "the bully's queue occupancy (and throughput) — the "
+           "QoS knob Recommendation #1 asks CXL controllers "
+           "to expose.\n");
 }
+
+}  // namespace figs

@@ -7,95 +7,135 @@
  */
 
 #include <cmath>
+#include <memory>
 
 #include "bench/common.hh"
-#include "sim/parallel.hh"
+#include "bench/figures.hh"
 #include "spa/breakdown.hh"
 #include "spa/predictor.hh"
 
 using namespace cxlsim;
 
-int
-main()
+namespace {
+
+/** Prediction-vs-actual summary line over per-workload values. */
+void
+reportLine(const char *dev, const std::vector<double> &p,
+           const std::vector<double> &a, sweep::Emit &out)
 {
-    bench::header("Prediction",
-                  "Spa-model slowdown prediction across devices");
+    std::vector<double> err;
+    for (std::size_t i = 0; i < p.size(); ++i)
+        err.push_back(std::abs(p[i] - a[i]));
+    out.printf("%-6s |pred-actual|: <5pp %5.1f%%  <10pp %5.1f%%"
+               "  <20pp %5.1f%%  median %5.1fpp  "
+               "Pearson(pred,act)=%.3f\n",
+               dev, 100 * stats::fractionBelow(err, 5.0),
+               100 * stats::fractionBelow(err, 10.0),
+               100 * stats::fractionBelow(err, 20.0),
+               stats::quantile(err, 0.5), stats::pearson(p, a));
+}
+
+/** Column @p idx of the hidden per-workload hexfloat slots. */
+std::vector<double>
+column(const std::vector<std::string> &in, std::size_t idx)
+{
+    std::vector<double> out;
+    for (const auto &slot : in)
+        out.push_back(cxlsim::sweep::parseHexDoubles(slot).at(idx));
+    return out;
+}
+
+}  // namespace
+
+namespace figs {
+
+void
+buildPredictionAccuracy(sweep::Sweep &S)
+{
+    S.text(bench::headerText(
+        "Prediction", "Spa-model slowdown prediction across devices"));
 
     const spa::DeviceSheet sheetA{"CXL-A", 214, 32};
     const spa::DeviceSheet sheetB{"CXL-B", 271, 24};
     const spa::DeviceSheet sheetD{"CXL-D", 239, 50};
     const double localLat = 111.0;
 
-    melody::SlowdownStudy study(606);
+    auto study = std::make_shared<melody::SlowdownStudy>(606);
     const auto &all = workloads::suite();
     std::vector<workloads::WorkloadProfile> sub;
     for (std::size_t i = 0; i < all.size(); i += 4)
         sub.push_back(bench::scaled(all[i], 25000));
 
-    struct Row
-    {
-        double predB, actB, predD, actD;
-        double naiveB;
-    };
-    std::vector<Row> rows(sub.size());
-    parallelFor(sub.size(), [&](std::size_t i) {
-        cpu::RunResult refRun;
-        study.slowdownWithRun(sub[i], "EMR2S", "CXL-A", &refRun);
-        const auto &base = study.baseline(sub[i], "EMR2S");
-        const auto model =
-            spa::fitModel(base, refRun, sheetA, localLat);
-        rows[i].predB = model.predict(sheetB);
-        rows[i].actB = study.slowdown(sub[i], "EMR2S", "CXL-B");
-        rows[i].predD = model.predict(sheetD);
-        rows[i].actD = study.slowdown(sub[i], "EMR2S", "CXL-D");
+    // Hidden slot per workload: {predB, actB, predD, actD, naiveB}.
+    std::vector<sweep::Sweep::SlotRef> rows;
+    std::vector<std::string> names;
+    for (const auto &w : sub) {
+        names.push_back(w.name);
+        const std::size_t id = S.point(
+            "wl|" + w.name + "|blocks=" +
+                std::to_string(w.blocksPerCore) + "|seed=606",
+            1,
+            [study, w, sheetA, sheetB, sheetD,
+             localLat](sweep::Emit *slots) {
+                cpu::RunResult refRun;
+                study->slowdownWithRun(w, "EMR2S", "CXL-A",
+                                       &refRun);
+                const auto &base = study->baseline(w, "EMR2S");
+                const auto model =
+                    spa::fitModel(base, refRun, sheetA, localLat);
+                const double predB = model.predict(sheetB);
+                const double actB =
+                    study->slowdown(w, "EMR2S", "CXL-B");
+                const double predD = model.predict(sheetD);
+                const double actD =
+                    study->slowdown(w, "EMR2S", "CXL-D");
 
-        // The conventional heuristic the paper criticizes (§5.2):
-        // every LLC miss pays the full latency delta, estimated
-        // from local-run counters alone.
-        const double missPerCycle =
-            static_cast<double>(base.counters.demandL3Miss) /
-            base.counters.cycles;
-        const double deltaCycles =
-            (sheetB.latencyNs - localLat) * 2.1;  // EMR GHz
-        rows[i].naiveB = missPerCycle * deltaCycles * 100.0;
+                // The conventional heuristic the paper criticizes
+                // (§5.2): every LLC miss pays the full latency
+                // delta, estimated from local-run counters alone.
+                const double missPerCycle =
+                    static_cast<double>(
+                        base.counters.demandL3Miss) /
+                    base.counters.cycles;
+                const double deltaCycles =
+                    (sheetB.latencyNs - localLat) * 2.1;  // EMR GHz
+                const double naiveB =
+                    missPerCycle * deltaCycles * 100.0;
+                slots[0].hexDoubles(
+                    {predB, actB, predD, actD, naiveB});
+            });
+        rows.push_back({id, 0});
+    }
+
+    S.gather(rows, [](const std::vector<std::string> &in,
+                      sweep::Emit &out) {
+        reportLine("CXL-B", column(in, 0), column(in, 1), out);
+        reportLine("CXL-D", column(in, 2), column(in, 3), out);
     });
 
-    auto report = [&](const char *dev, auto pred, auto act) {
-        std::vector<double> err, p, a;
-        for (const auto &r : rows) {
-            p.push_back(pred(r));
-            a.push_back(act(r));
-            err.push_back(std::abs(pred(r) - act(r)));
+    S.text("\nConventional LLC-miss heuristic (\u00a75.2's "
+           "critique), CXL-B:\n");
+    S.gather(rows, [](const std::vector<std::string> &in,
+                      sweep::Emit &out) {
+        reportLine("naive", column(in, 4), column(in, 1), out);
+    });
+
+    S.text("\nWorst cases (CXL-B):\n");
+    S.textf("%-22s %10s %10s\n", "Workload", "pred(%)",
+            "actual(%)");
+    S.gather(rows, [names](const std::vector<std::string> &in,
+                           sweep::Emit &out) {
+        for (std::size_t i = 0; i < in.size(); ++i) {
+            const auto v = cxlsim::sweep::parseHexDoubles(in[i]);
+            if (std::abs(v.at(0) - v.at(1)) > 40.0)
+                out.printf("%-22s %10.1f %10.1f\n",
+                           names[i].c_str(), v.at(0), v.at(1));
         }
-        std::printf("%-6s |pred-actual|: <5pp %5.1f%%  <10pp %5.1f%%"
-                    "  <20pp %5.1f%%  median %5.1fpp  "
-                    "Pearson(pred,act)=%.3f\n",
-                    dev, 100 * stats::fractionBelow(err, 5.0),
-                    100 * stats::fractionBelow(err, 10.0),
-                    100 * stats::fractionBelow(err, 20.0),
-                    stats::quantile(err, 0.5), stats::pearson(p, a));
-    };
-    report("CXL-B", [](const Row &r) { return r.predB; },
-           [](const Row &r) { return r.actB; });
-    report("CXL-D", [](const Row &r) { return r.predD; },
-           [](const Row &r) { return r.actD; });
-
-    std::printf("\nConventional LLC-miss heuristic (\u00a75.2's "
-                "critique), CXL-B:\n");
-    report("naive", [](const Row &r) { return r.naiveB; },
-           [](const Row &r) { return r.actB; });
-
-    std::printf("\nWorst cases (CXL-B):\n");
-    std::printf("%-22s %10s %10s\n", "Workload", "pred(%)",
-                "actual(%)");
-    for (std::size_t i = 0; i < sub.size(); ++i)
-        if (std::abs(rows[i].predB - rows[i].actB) > 40.0)
-            std::printf("%-22s %10.1f %10.1f\n",
-                        sub[i].name.c_str(), rows[i].predB,
-                        rows[i].actB);
-    std::printf("\nOne local + one reference-device profile predicts "
-                "unseen devices from their datasheet — the Spa-based "
-                "modelling §5.7 sketches (tail-driven workloads are "
-                "the residual error).\n");
-    return 0;
+    });
+    S.text("\nOne local + one reference-device profile predicts "
+           "unseen devices from their datasheet — the Spa-based "
+           "modelling §5.7 sketches (tail-driven workloads are "
+           "the residual error).\n");
 }
+
+}  // namespace figs

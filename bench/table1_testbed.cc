@@ -3,10 +3,11 @@
  * Table 1: testbed characterization — idle latency and peak
  * bandwidth for every server (local and remote/NUMA) and every
  * CXL device (locally attached and via a NUMA hop), printed next
- * to the paper's measured values.
+ * to the paper's measured values (melody::paperPeakGBps).
  */
 
 #include "bench/common.hh"
+#include "bench/figures.hh"
 #include "core/mio.hh"
 #include "core/mlc.hh"
 
@@ -33,74 +34,112 @@ peakBw(melody::Platform &p, std::uint64_t seed, double read_frac)
     return melody::mlcMeasure(be.get(), cfg).gbps;
 }
 
+void
+tableGather(const std::vector<std::string> &headers,
+            const std::vector<std::string> &inputs, sweep::Emit &out)
+{
+    stats::Table t(headers);
+    for (const auto &row : inputs)
+        t.addRow(bench::splitCells(row));
+    out.text(t.render());
+}
+
 }  // namespace
 
-int
-main()
-{
-    bench::header("Table 1", "Testbed latency/bandwidth calibration");
+namespace figs {
 
-    bench::section("Servers (Local / Remote-NUMA)");
+void
+buildTable1(sweep::Sweep &S)
+{
+    S.text(bench::headerText("Table 1",
+                             "Testbed latency/bandwidth calibration"));
+
+    S.text(bench::sectionText("Servers (Local / Remote-NUMA)"));
     struct SrvRow
     {
         const char *server;
-        double lLat, lBw, rLat, rBw;  // paper values
+        double lLat, rLat;  // paper latencies
     };
     const SrvRow servers[] = {
-        {"SPR2S", 114, 218, 191, 97},  {"EMR2S", 111, 246, 193, 120},
-        {"EMR2S'", 117, 236, 212, 119}, {"SKX2S", 90, 52, 140, 32},
-        {"SKX8S", 81, 109, 410, 7},
+        {"SPR2S", 114, 191}, {"EMR2S", 111, 193},
+        {"EMR2S'", 117, 212}, {"SKX2S", 90, 140},
+        {"SKX8S", 81, 410},
     };
-    stats::Table st({"Server", "LocalLat(ns)", "paper", "LocalBW",
-                     "paper", "RemoteLat", "paper", "RemoteBW",
-                     "paper"});
+    std::vector<sweep::Sweep::SlotRef> srvRows;
     for (const auto &s : servers) {
-        melody::Platform lp(s.server, "Local");
-        melody::Platform rp(s.server,
-                            std::string(s.server) == "SKX8S"
-                                ? "NUMA-410ns"
-                                : "NUMA");
-        st.addRow({s.server, stats::Table::num(idleLat(lp, 1), 0),
-                   stats::Table::num(s.lLat, 0),
-                   stats::Table::num(peakBw(lp, 2, 1.0), 0),
-                   stats::Table::num(s.lBw, 0),
-                   stats::Table::num(idleLat(rp, 3), 0),
-                   stats::Table::num(s.rLat, 0),
-                   stats::Table::num(peakBw(rp, 4, 1.0), 0),
-                   stats::Table::num(s.rBw, 0)});
+        const std::size_t id = S.point(
+            std::string("server|") + s.server + "|seeds=1-4", 1,
+            [s](sweep::Emit *slots) {
+                const std::string numa =
+                    std::string(s.server) == "SKX8S" ? "NUMA-410ns"
+                                                     : "NUMA";
+                melody::Platform lp(s.server, "Local");
+                melody::Platform rp(s.server, numa);
+                slots[0].text(bench::joinCells(
+                    {s.server, stats::Table::num(idleLat(lp, 1), 0),
+                     stats::Table::num(s.lLat, 0),
+                     stats::Table::num(peakBw(lp, 2, 1.0), 0),
+                     stats::Table::num(
+                         melody::paperPeakGBps(s.server, "Local"), 0),
+                     stats::Table::num(idleLat(rp, 3), 0),
+                     stats::Table::num(s.rLat, 0),
+                     stats::Table::num(peakBw(rp, 4, 1.0), 0),
+                     stats::Table::num(
+                         melody::paperPeakGBps(s.server, numa), 0)}));
+            });
+        srvRows.push_back({id, 0});
     }
-    st.print();
+    S.gather(srvRows, [](const std::vector<std::string> &inputs,
+                         sweep::Emit &out) {
+        tableGather({"Server", "LocalLat(ns)", "paper", "LocalBW",
+                     "paper", "RemoteLat", "paper", "RemoteBW",
+                     "paper"},
+                    inputs, out);
+    });
 
-    bench::section("CXL devices (Local / Remote via NUMA hop)");
+    S.text(bench::sectionText(
+        "CXL devices (Local / Remote via NUMA hop)"));
     struct DevRow
     {
         const char *dev;
         const char *server;
         double lLat, lBw, rLat;  // paper values (MLC read BW)
-        double peak;             // paper mixed peak
     };
     const DevRow devs[] = {
-        {"CXL-A", "EMR2S", 214, 24, 375, 32},
-        {"CXL-B", "EMR2S", 271, 22, 473, 26},
-        {"CXL-C", "EMR2S", 394, 18, 621, 21},
-        {"CXL-D", "EMR2S'", 239, 52, 333, 59},
+        {"CXL-A", "EMR2S", 214, 24, 375},
+        {"CXL-B", "EMR2S", 271, 22, 473},
+        {"CXL-C", "EMR2S", 394, 18, 621},
+        {"CXL-D", "EMR2S'", 239, 52, 333},
     };
-    stats::Table dt({"Device", "Lat(ns)", "paper", "ReadBW", "paper",
-                     "MixedPeak", "paper", "RemoteLat", "paper"});
+    std::vector<sweep::Sweep::SlotRef> devRows;
     for (const auto &d : devs) {
-        melody::Platform lp(d.server, d.dev);
-        melody::Platform rp(d.server, std::string(d.dev) + "+NUMA");
-        const bool fpga = std::string(d.dev) == "CXL-C";
-        dt.addRow({d.dev, stats::Table::num(idleLat(lp, 5), 0),
-                   stats::Table::num(d.lLat, 0),
-                   stats::Table::num(peakBw(lp, 6, 1.0), 1),
-                   stats::Table::num(d.lBw, 0),
-                   stats::Table::num(peakBw(lp, 7, fpga ? 1.0 : 0.67),
-                                     1),
-                   stats::Table::num(d.peak, 0),
-                   stats::Table::num(idleLat(rp, 8), 0),
-                   stats::Table::num(d.rLat, 0)});
+        const std::size_t id = S.point(
+            std::string("device|") + d.dev + "|seeds=5-8", 1,
+            [d](sweep::Emit *slots) {
+                melody::Platform lp(d.server, d.dev);
+                melody::Platform rp(d.server,
+                                    std::string(d.dev) + "+NUMA");
+                const bool fpga = std::string(d.dev) == "CXL-C";
+                slots[0].text(bench::joinCells(
+                    {d.dev, stats::Table::num(idleLat(lp, 5), 0),
+                     stats::Table::num(d.lLat, 0),
+                     stats::Table::num(peakBw(lp, 6, 1.0), 1),
+                     stats::Table::num(d.lBw, 0),
+                     stats::Table::num(
+                         peakBw(lp, 7, fpga ? 1.0 : 0.67), 1),
+                     stats::Table::num(
+                         melody::paperPeakGBps(d.server, d.dev), 0),
+                     stats::Table::num(idleLat(rp, 8), 0),
+                     stats::Table::num(d.rLat, 0)}));
+            });
+        devRows.push_back({id, 0});
     }
-    dt.print();
-    return 0;
+    S.gather(devRows, [](const std::vector<std::string> &inputs,
+                         sweep::Emit &out) {
+        tableGather({"Device", "Lat(ns)", "paper", "ReadBW", "paper",
+                     "MixedPeak", "paper", "RemoteLat", "paper"},
+                    inputs, out);
+    });
 }
+
+}  // namespace figs

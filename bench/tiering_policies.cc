@@ -13,7 +13,10 @@
  * performance.
  */
 
+#include <memory>
+
 #include "bench/common.hh"
+#include "bench/figures.hh"
 #include "cpu/multicore.hh"
 #include "mem/tiering_backend.hh"
 #include "workloads/synthetic_kernel.hh"
@@ -56,12 +59,26 @@ policyName(mem::TieringPolicy p)
     }
 }
 
+using SharedRun = std::shared_ptr<bench::Shared<cpu::RunResult>>;
+
+SharedRun
+lazyLocalRun(const workloads::WorkloadProfile &w)
+{
+    return std::make_shared<bench::Shared<cpu::RunResult>>([w] {
+        melody::Platform lp("EMR2S", "Local");
+        return melody::runWorkload(w, lp, 71);
+    });
+}
+
 }  // namespace
 
-int
-main()
+namespace figs {
+
+void
+buildTieringPolicies(sweep::Sweep &S)
 {
-    bench::header("Tiering", "Spa stall-cost vs access-count policy");
+    S.text(bench::headerText("Tiering",
+                             "Spa stall-cost vs access-count policy"));
 
     // Stream+chase mix: streams dominate access counts; chased
     // pages dominate suffered latency.
@@ -76,64 +93,88 @@ main()
     w.workingSetBytes = 1536ULL << 20;
     w.zipfSkew = 0.9;  // chased pages have reuse worth capturing
 
-    melody::Platform lp("EMR2S", "Local");
-    melody::Platform sp("EMR2S", "CXL-B");
-    const auto allLocal = melody::runWorkload(w, lp, 71);
-    const auto allCxl = melody::runWorkload(w, sp, 71);
-    std::printf("all-local baseline;  all-CXL slowdown %.1f%%\n\n",
-                melody::slowdownPct(allLocal, allCxl));
+    // The all-local baseline is needed by the intro line and every
+    // policy row; compute it once, whichever point runs first.
+    const SharedRun allLocal = lazyLocalRun(w);
+    S.point("intro|ubench-mix|seed=71",
+            [w, allLocal](sweep::Emit &out) {
+                melody::Platform sp("EMR2S", "CXL-B");
+                const auto allCxl = melody::runWorkload(w, sp, 71);
+                out.printf(
+                    "all-local baseline;  all-CXL slowdown "
+                    "%.1f%%\n\n",
+                    melody::slowdownPct(allLocal->get(), allCxl));
+            });
 
-    std::printf("%-20s %8s %10s %12s %12s %10s\n", "policy",
-                "fastMB", "S(%)", "promotions", "fastAccess%",
-                "epochs");
+    S.textf("%-20s %8s %10s %12s %12s %10s\n", "policy", "fastMB",
+            "S(%)", "promotions", "fastAccess%", "epochs");
     for (std::uint64_t fastMb : {64ULL, 128ULL, 256ULL}) {
         for (auto pol : {mem::TieringPolicy::kStatic,
                          mem::TieringPolicy::kAccessCount,
                          mem::TieringPolicy::kStallCost}) {
-            mem::TieringStats ts;
-            const auto r = runTiered(w, pol, fastMb, &ts);
-            std::printf("%-20s %8llu %9.1f%% %12llu %11.1f%% %10llu\n",
-                        policyName(pol),
-                        static_cast<unsigned long long>(fastMb),
-                        melody::slowdownPct(allLocal, r),
-                        static_cast<unsigned long long>(
-                            ts.promotions),
-                        100 * ts.fastFraction(),
-                        static_cast<unsigned long long>(ts.epochs));
+            S.point(std::string("s1|") + policyName(pol) +
+                        "|fastMb=" + std::to_string(fastMb) +
+                        "|seed=71",
+                    [w, allLocal, pol, fastMb](sweep::Emit &out) {
+                        mem::TieringStats ts;
+                        const auto r = runTiered(w, pol, fastMb,
+                                                 &ts);
+                        out.printf(
+                            "%-20s %8llu %9.1f%% %12llu %11.1f%% "
+                            "%10llu\n",
+                            policyName(pol),
+                            static_cast<unsigned long long>(fastMb),
+                            melody::slowdownPct(allLocal->get(), r),
+                            static_cast<unsigned long long>(
+                                ts.promotions),
+                            100 * ts.fastFraction(),
+                            static_cast<unsigned long long>(
+                                ts.epochs));
+                    });
         }
     }
     // Scenario 2: write-heavy streaming alongside the chase. The
     // store stream's RFO/writeback traffic inflates access counts
     // on pages that never stall the core; the Spa metric ignores
     // it and keeps the fast tier for the latency-critical pages.
-    bench::section("write-stream + chase (counts mislead)");
+    S.text(bench::sectionText(
+        "write-stream + chase (counts mislead)"));
     w.storesPerBlock = 0.5;
     w.storeHotFrac = 0.0;
     w.seqFrac = 0.05;
     w.loadsPerBlock = 0.35;
-    const auto wl2 = melody::runWorkload(w, lp, 71);
-    const auto wc2 = melody::runWorkload(w, sp, 71);
-    std::printf("all-CXL slowdown %.1f%%\n", 
-                melody::slowdownPct(wl2, wc2));
-    std::printf("%-20s %8s %10s %12s\n", "policy", "fastMB",
-                "S(%)", "fastAccess%");
+    const SharedRun wl2 = lazyLocalRun(w);
+    S.point("intro2|ubench-mix-writes|seed=71",
+            [w, wl2](sweep::Emit &out) {
+                melody::Platform sp("EMR2S", "CXL-B");
+                const auto wc2 = melody::runWorkload(w, sp, 71);
+                out.printf("all-CXL slowdown %.1f%%\n",
+                           melody::slowdownPct(wl2->get(), wc2));
+            });
+    S.textf("%-20s %8s %10s %12s\n", "policy", "fastMB", "S(%)",
+            "fastAccess%");
     for (auto pol : {mem::TieringPolicy::kStatic,
                      mem::TieringPolicy::kAccessCount,
                      mem::TieringPolicy::kStallCost}) {
-        mem::TieringStats ts;
-        const auto r = runTiered(w, pol, 128, &ts);
-        std::printf("%-20s %8d %9.1f%% %11.1f%%\n",
-                    policyName(pol), 128,
-                    melody::slowdownPct(wl2, r),
-                    100 * ts.fastFraction());
+        S.point(std::string("s2|") + policyName(pol) +
+                    "|fastMb=128|seed=71",
+                [w, wl2, pol](sweep::Emit &out) {
+                    mem::TieringStats ts;
+                    const auto r = runTiered(w, pol, 128, &ts);
+                    out.printf("%-20s %8d %9.1f%% %11.1f%%\n",
+                               policyName(pol), 128,
+                               melody::slowdownPct(wl2->get(), r),
+                               100 * ts.fastFraction());
+                });
     }
 
-    std::printf("\nBoth dynamic policies recover most of the "
-                "static-placement gap; in this model their rankings "
-                "mostly agree because CXL-B charges prefetch and "
-                "store traffic real latency too (Finding #4 / #1c). "
-                "The substrate exposes the metric as a policy knob "
-                "for exploring the smarter tiering designs Spa "
-                "motivates (5.7).\n");
-    return 0;
+    S.text("\nBoth dynamic policies recover most of the "
+           "static-placement gap; in this model their rankings "
+           "mostly agree because CXL-B charges prefetch and "
+           "store traffic real latency too (Finding #4 / #1c). "
+           "The substrate exposes the metric as a policy knob "
+           "for exploring the smarter tiering designs Spa "
+           "motivates (5.7).\n");
 }
+
+}  // namespace figs

@@ -7,48 +7,78 @@
  */
 
 #include "bench/common.hh"
+#include "bench/figures.hh"
 #include "spa/advisor.hh"
 #include "spa/period.hh"
 
 using namespace cxlsim;
 
-int
-main()
+namespace figs {
+
+void
+buildUsecaseTuning(sweep::Sweep &S)
 {
-    bench::header("Use case (5.7)", "Spa-guided placement tuning");
+    S.text(bench::headerText("Use case (5.7)",
+                             "Spa-guided placement tuning"));
 
-    auto w = workloads::byName("605.mcf_s");
-    w.blocksPerCore = 120000;
-
-    // Step 1: period-based analysis flags the bursty phases.
-    melody::Platform lp("EMR2S", "Local");
-    melody::Platform tp("EMR2S", "CXL-A");
-    const auto base =
-        melody::runWorkload(w, lp, 51, true, usToTicks(15));
-    const auto test =
-        melody::runWorkload(w, tp, 51, true, usToTicks(15));
-    const auto periods = spa::periodAnalysis(
-        base.samples, test.samples,
-        base.counters.instructions / 20.0);
-    std::size_t bursty = 0;
-    for (const auto &p : periods)
-        bursty += p.breakdown.actual > 10.0;
-    std::printf("periods above 10%% slowdown: %zu / %zu\n", bursty,
+    // Step 1 and the suggested-fraction pin share one point: the
+    // pin fraction is derived from the period analysis, so both
+    // lines depend on the same runs.
+    const std::size_t step1 = S.point(
+        "step1|605.mcf_s|blocks=120000|seed=51", 2,
+        [](sweep::Emit *slots) {
+            auto w = workloads::byName("605.mcf_s");
+            w.blocksPerCore = 120000;
+            melody::Platform lp("EMR2S", "Local");
+            melody::Platform tp("EMR2S", "CXL-A");
+            const auto base =
+                melody::runWorkload(w, lp, 51, true, usToTicks(15));
+            const auto test =
+                melody::runWorkload(w, tp, 51, true, usToTicks(15));
+            const auto periods = spa::periodAnalysis(
+                base.samples, test.samples,
+                base.counters.instructions / 20.0);
+            std::size_t bursty = 0;
+            for (const auto &p : periods)
+                bursty += p.breakdown.actual > 10.0;
+            slots[0].printf(
+                "periods above 10%% slowdown: %zu / %zu\n", bursty,
                 periods.size());
-    const double frac = spa::suggestPinnedFraction(periods, 10.0);
-    std::printf("suggested pinned fraction of working set: %.2f\n",
+            const double frac =
+                spa::suggestPinnedFraction(periods, 10.0);
+            slots[0].printf(
+                "suggested pinned fraction of working set: %.2f\n",
                 frac);
 
-    // Step 2: pin the hot objects locally and re-measure.
-    for (double pin : {frac, 0.1, 0.3, 0.5}) {
-        const auto r =
-            spa::tunePlacement(w, "EMR2S", "CXL-A", pin, 51);
-        std::printf("pin %4.2f of WS -> slowdown %6.1f%% -> %6.1f%% "
-                    " (local serves %4.1f%% of requests)\n",
-                    pin, r.slowdownAllCxl, r.slowdownPinned,
-                    100 * r.fastRequestFraction);
+            const auto r = spa::tunePlacement(w, "EMR2S", "CXL-A",
+                                              frac, 51);
+            slots[1].printf(
+                "pin %4.2f of WS -> slowdown %6.1f%% -> %6.1f%%  "
+                "(local serves %4.1f%% of requests)\n",
+                frac, r.slowdownAllCxl, r.slowdownPinned,
+                100 * r.fastRequestFraction);
+        });
+    S.place(step1, 0);
+    S.place(step1, 1);
+
+    for (double pin : {0.1, 0.3, 0.5}) {
+        S.point("pin|605.mcf_s|frac=" + stats::Table::num(pin, 2) +
+                    "|seed=51",
+                [pin](sweep::Emit &out) {
+                    auto w = workloads::byName("605.mcf_s");
+                    w.blocksPerCore = 120000;
+                    const auto r = spa::tunePlacement(
+                        w, "EMR2S", "CXL-A", pin, 51);
+                    out.printf(
+                        "pin %4.2f of WS -> slowdown %6.1f%% -> "
+                        "%6.1f%%  (local serves %4.1f%% of "
+                        "requests)\n",
+                        pin, r.slowdownAllCxl, r.slowdownPinned,
+                        100 * r.fastRequestFraction);
+                });
     }
-    std::printf("\nPaper: relocating the two hot 2GB objects cut "
-                "605.mcf's slowdown from 13%% to 2%%.\n");
-    return 0;
+    S.text("\nPaper: relocating the two hot 2GB objects cut "
+           "605.mcf's slowdown from 13% to 2%.\n");
 }
+
+}  // namespace figs

@@ -21,6 +21,17 @@ Throughput is taken from ``items_per_second`` when the benchmark
 reports it (all of ours do), else from 1/real_time. A regression is
 ``new < old * (1 - tolerance)``; improvements are reported but never
 fail the gate.
+
+Recording refuses binaries built without optimization: the benchmark
+embeds ``cxlsim_build_type`` in its JSON context and anything other
+than Release/RelWithDebInfo aborts unless ``--allow-debug`` is given
+(debug numbers poison every later comparison).
+
+``--suite`` additionally times the figure suite end to end through
+``melody sweep`` (serial cold-cache, parallel cold-cache, parallel
+warm-cache) and records the wall-clock numbers as ``run_type:
+"suite"`` entries in the same JSON; ``compare()`` ignores those, so
+they are a recorded metric, not a gated one.
 """
 
 import argparse
@@ -28,13 +39,20 @@ import datetime
 import glob
 import json
 import os
+import shutil
 import subprocess
 import sys
+import tempfile
+import time
 
 REPO_ROOT = os.path.dirname(
     os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_BENCH = os.path.join(REPO_ROOT, "build", "bench",
                              "perf_microbench")
+DEFAULT_MELODY = os.path.join(REPO_ROOT, "build", "tools", "melody")
+
+#: Build types whose numbers are comparable across runs.
+OPTIMIZED_BUILD_TYPES = ("release", "relwithdebinfo")
 
 
 def throughput(entry):
@@ -64,6 +82,85 @@ def run_bench(bench, min_time, extra_args):
     print(f"running: {' '.join(cmd)}", file=sys.stderr)
     proc = subprocess.run(cmd, stdout=subprocess.PIPE, check=True)
     return json.loads(proc.stdout)
+
+
+def check_build_type(data, allow_debug):
+    """Refuse to record numbers from an unoptimized build."""
+    ctx = data.get("context", {})
+    build = str(ctx.get("cxlsim_build_type",
+                        ctx.get("library_build_type",
+                                "unknown"))).lower()
+    if build in OPTIMIZED_BUILD_TYPES:
+        return True
+    if allow_debug:
+        print(f"WARNING: recording from a '{build}' build "
+              "(--allow-debug); numbers are NOT comparable to "
+              "Release baselines.", file=sys.stderr)
+        return True
+    print(f"refusing to record from a '{build}' build: configure "
+          "with -DCMAKE_BUILD_TYPE=Release (or pass --allow-debug "
+          "to override).", file=sys.stderr)
+    return False
+
+
+def run_suite(melody, jobs, cache_dir, figures):
+    """One timed `melody sweep` run; returns (seconds, stdout)."""
+    env = dict(os.environ)
+    env["MELODY_SWEEP_CACHE_DIR"] = cache_dir
+    env.pop("MELODY_SWEEP_JOBS", None)
+    env.pop("MELODY_SWEEP_CACHE", None)
+    cmd = [melody, "sweep", "--jobs", str(jobs)] + figures
+    print(f"running: {' '.join(cmd)}", file=sys.stderr)
+    start = time.monotonic()
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.DEVNULL, env=env,
+                          check=True)
+    return time.monotonic() - start, proc.stdout
+
+
+def suite_entries(melody, jobs, figures):
+    """Time the figure suite three ways; return JSON entries.
+
+    The three runs must emit byte-identical figure output — the
+    engine's core guarantee — so any drift fails loudly here too.
+    """
+    tmp = tempfile.mkdtemp(prefix="melody-suite-")
+    try:
+        serial_s, serial_out = run_suite(
+            melody, 1, os.path.join(tmp, "serial"), figures)
+        cold_s, cold_out = run_suite(
+            melody, jobs, os.path.join(tmp, "par"), figures)
+        warm_s, warm_out = run_suite(
+            melody, jobs, os.path.join(tmp, "par"), figures)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    if cold_out != serial_out or warm_out != cold_out:
+        print("suite output mismatch between serial/parallel/"
+              "warm runs — determinism bug, not recording.",
+              file=sys.stderr)
+        raise SystemExit(1)
+
+    def entry(name, seconds, run_jobs):
+        return {
+            "name": name,
+            "run_type": "suite",
+            "figures": " ".join(figures),
+            "jobs": run_jobs,
+            "real_time": seconds * 1e9,
+            "time_unit": "ns",
+            "wall_seconds": round(seconds, 3),
+        }
+
+    entries = [
+        entry("suite/serial_cold", serial_s, 1),
+        entry(f"suite/jobs{jobs}_cold", cold_s, jobs),
+        entry(f"suite/jobs{jobs}_warm", warm_s, jobs),
+    ]
+    speedup = serial_s / warm_s if warm_s > 0 else float("inf")
+    print(f"suite wall-clock: serial cold {serial_s:.1f}s, "
+          f"jobs={jobs} cold {cold_s:.1f}s, warm {warm_s:.1f}s "
+          f"({speedup:.1f}x vs serial cold)", file=sys.stderr)
+    return entries
 
 
 def previous_baseline(out_dir, exclude):
@@ -129,6 +226,22 @@ def main():
                          "runs nothing")
     ap.add_argument("--min-time", default=None,
                     help="forwarded as --benchmark_min_time")
+    ap.add_argument("--allow-debug", action="store_true",
+                    help="record even from a non-Release build "
+                         "(numbers will not be comparable)")
+    ap.add_argument("--suite", action="store_true",
+                    help="also time the figure suite via "
+                         "'melody sweep' (serial/parallel/warm) "
+                         "and record run_type='suite' entries")
+    ap.add_argument("--melody", default=DEFAULT_MELODY,
+                    help="melody binary for --suite "
+                         f"(default: {DEFAULT_MELODY})")
+    ap.add_argument("--suite-jobs", type=int, default=4,
+                    help="worker count for the parallel suite "
+                         "runs (default 4)")
+    ap.add_argument("--suite-figures", default="all",
+                    help="space-separated figure list for --suite "
+                         "(default: all)")
     ap.add_argument("bench_args", nargs="*",
                     help="extra args forwarded to the benchmark")
     args = ap.parse_args()
@@ -154,6 +267,17 @@ def main():
         return 2
 
     data = run_bench(args.bench, args.min_time, args.bench_args)
+    if not check_build_type(data, args.allow_debug):
+        return 2
+    if args.suite:
+        if not os.path.exists(args.melody):
+            print(f"melody binary not found: {args.melody}\n"
+                  "build it first: cmake --build build "
+                  "--target melody", file=sys.stderr)
+            return 2
+        data.setdefault("benchmarks", []).extend(
+            suite_entries(args.melody, args.suite_jobs,
+                          args.suite_figures.split()))
     date = datetime.date.today().isoformat()
     out_path = os.path.abspath(
         os.path.join(args.out_dir, f"BENCH_{date}.json"))

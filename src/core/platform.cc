@@ -204,4 +204,48 @@ Platform::makeBackend(std::uint64_t seed) const
     throw ConfigError("unknown memory setup: " + memory_);
 }
 
+double
+paperPeakGBps(const std::string &server, const std::string &memory)
+{
+    // Table 1 calibration targets. CXL rows are the mixed-traffic
+    // peaks of the devices themselves, so any server and any
+    // switch/NUMA path resolves to the base device's number.
+    if (memory.rfind("CXL-", 0) == 0) {
+        const std::string dev = memory.substr(0, 5);  // "CXL-X"
+        if (dev == "CXL-A")
+            return 32.0;
+        if (dev == "CXL-B")
+            return 26.0;
+        if (dev == "CXL-C")
+            return 21.0;
+        if (dev == "CXL-D")
+            return 59.0;
+        throw ConfigError("paperPeakGBps: unknown CXL device: " +
+                          memory);
+    }
+
+    struct SrvBw
+    {
+        const char *server;
+        double localGBps;
+        double remoteGBps;
+    };
+    static constexpr SrvBw kServers[] = {
+        {"SPR2S", 218.0, 97.0},  {"EMR2S", 246.0, 120.0},
+        {"EMR2S'", 236.0, 119.0}, {"SKX2S", 52.0, 32.0},
+        {"SKX8S", 109.0, 7.0},
+    };
+    for (const SrvBw &s : kServers) {
+        if (server != s.server)
+            continue;
+        if (memory == "Local")
+            return s.localGBps;
+        if (memory.rfind("NUMA", 0) == 0)
+            return s.remoteGBps;
+        throw ConfigError("paperPeakGBps: unknown memory setup: " +
+                          memory);
+    }
+    throw ConfigError("paperPeakGBps: unknown server: " + server);
+}
+
 }  // namespace melody

@@ -79,6 +79,20 @@ class Platform
     cxlsim::ras::FaultPlan faultPlan_;
 };
 
+/**
+ * Paper-measured peak bandwidth (GB/s, Table 1) for a
+ * (server, memory setup) pair — the single source for the
+ * calibration targets the benches print and for bandwidth
+ * normalization (e.g. Fig 3c utilization). CXL devices use the
+ * mixed-traffic peak and are server-independent; "NUMA*" setups
+ * use the server's remote-socket bandwidth; switch/NUMA-suffixed
+ * CXL setups ("CXL-A+Switch", ...) resolve to the base device.
+ *
+ * @throw cxlsim::ConfigError on an unknown server or setup.
+ */
+double paperPeakGBps(const std::string &server,
+                     const std::string &memory);
+
 }  // namespace melody
 
 #endif  // MELODY_CORE_PLATFORM_HH

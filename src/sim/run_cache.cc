@@ -1,0 +1,164 @@
+#include "run_cache.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "sim/logging.hh"
+#include "stats/rows.hh"
+
+namespace cxlsim::sweep {
+
+namespace {
+
+constexpr const char *kMagic = "melody-runcache 1\n";
+
+/** Read a whole file; false if unreadable. */
+bool
+readFile(const std::string &path, std::string *out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    std::string data;
+    char buf[1 << 14];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        data.append(buf, n);
+    const bool ok = !std::ferror(f);
+    std::fclose(f);
+    if (!ok)
+        return false;
+    *out = std::move(data);
+    return true;
+}
+
+/** Consume one '\n'-terminated line from @p data at @p pos. */
+bool
+takeLine(const std::string &data, std::size_t *pos,
+         std::string *line)
+{
+    const std::size_t nl = data.find('\n', *pos);
+    if (nl == std::string::npos)
+        return false;
+    line->assign(data, *pos, nl - *pos);
+    *pos = nl + 1;
+    return true;
+}
+
+}  // namespace
+
+RunCache::RunCache(std::string dir, std::string salt)
+    : dir_(std::move(dir)), salt_(std::move(salt))
+{
+}
+
+std::string
+RunCache::pathFor(const std::string &key) const
+{
+    // Salt first so a salt bump re-addresses (not just
+    // re-validates) every entry: stale generations never collide
+    // with fresh ones, and pruning is a plain directory wipe.
+    std::uint64_t h = stats::fnv1a64(salt_);
+    h = stats::fnv1a64(key, h);
+    return dir_ + "/" + stats::hex64(h) + ".rcache";
+}
+
+bool
+RunCache::lookup(const std::string &key, std::size_t expectRows,
+                 std::vector<std::string> *rows)
+{
+    std::string data;
+    if (!readFile(pathFor(key), &data)) {
+        ++stats_.misses;
+        return false;
+    }
+
+    // Header: magic line, salt line, key line, "<paylen> <hash>".
+    std::size_t pos = 0;
+    std::string line;
+    bool ok = data.compare(0, std::string(kMagic).size(), kMagic) ==
+              0;
+    if (ok) {
+        pos = std::string(kMagic).size();
+        ok = takeLine(data, &pos, &line) && line == salt_;
+    }
+    if (ok)
+        ok = takeLine(data, &pos, &line) && line == key;
+    std::string payload;
+    if (ok && takeLine(data, &pos, &line)) {
+        char hashHex[17];
+        unsigned long long paylen = 0;
+        ok = std::sscanf(line.c_str(), "%llu %16s", &paylen,
+                         hashHex) == 2 &&
+             data.size() - pos == paylen;
+        if (ok) {
+            payload = data.substr(pos);
+            ok = stats::hex64(stats::fnv1a64(payload)) == hashHex;
+        }
+    } else {
+        ok = false;
+    }
+
+    std::vector<std::string> decoded;
+    if (ok)
+        ok = stats::decodeRows(payload, &decoded) &&
+             decoded.size() == expectRows;
+    if (!ok) {
+        // Present but unusable: corrupted write, salt/key
+        // collision, or format drift. Recompute and overwrite.
+        ++stats_.corrupt;
+        ++stats_.misses;
+        return false;
+    }
+    *rows = std::move(decoded);
+    ++stats_.hits;
+    return true;
+}
+
+void
+RunCache::store(const std::string &key,
+                const std::vector<std::string> &rows)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+
+    const std::string payload = stats::encodeRows(rows);
+    std::string data = kMagic;
+    data += salt_ + "\n";
+    data += key + "\n";
+    char hdr[64];
+    std::snprintf(hdr, sizeof(hdr), "%llu %s\n",
+                  static_cast<unsigned long long>(payload.size()),
+                  stats::hex64(stats::fnv1a64(payload)).c_str());
+    data += hdr;
+    data += payload;
+
+    const std::string path = pathFor(key);
+    const std::string tmp = path + ".tmp";
+    bool ok = false;
+    if (std::FILE *f = std::fopen(tmp.c_str(), "wb")) {
+        ok = std::fwrite(data.data(), 1, data.size(), f) ==
+             data.size();
+        ok = (std::fclose(f) == 0) && ok;
+    }
+    if (ok) {
+        fs::rename(tmp, path, ec);
+        ok = !ec;
+    }
+    if (!ok) {
+        fs::remove(tmp, ec);
+        ++stats_.storeFailures;
+        if (!warnedStoreFailure_) {
+            warnedStoreFailure_ = true;
+            SIM_WARN("run cache: cannot write under '" + dir_ +
+                     "'; caching disabled for this run");
+        }
+        return;
+    }
+    ++stats_.stores;
+}
+
+}  // namespace cxlsim::sweep

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Content-addressed run cache for deterministic sweep points.
+ *
+ * Every simulation run in this codebase is a pure function of its
+ * configuration (platform profile, workload/config struct, seed)
+ * plus the simulator code itself. The sweep engine therefore keys
+ * each point's formatted output rows by
+ *
+ *     fnv1a64(salt | sweep-scope | point key)
+ *
+ * and persists them under one file per point
+ * (`<dir>/<hash>.rcache`). Re-running a figure after an unrelated
+ * edit skips unchanged points entirely; outputs re-emitted from
+ * the cache are byte-identical to a live run because the payload
+ * *is* the emitted bytes (stats::encodeRows framing).
+ *
+ * The salt is the invalidation knob: it names the simulator
+ * behaviour version (see sweep::kSweepSalt) and must be bumped in
+ * any PR that intentionally changes simulation results, which
+ * orphans every prior entry at once. Entries are verified on read
+ * (magic, salt, full key echo, payload checksum, structural
+ * decode); any mismatch — including a hash collision or a
+ * truncated write — counts as corrupt and falls back to
+ * recomputation, never to wrong output. Writes go through a
+ * temp-file + rename so a crashed run cannot leave a torn entry
+ * behind.
+ */
+
+#ifndef CXLSIM_SIM_RUN_CACHE_HH
+#define CXLSIM_SIM_RUN_CACHE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cxlsim::sweep {
+
+/** One directory of cached sweep-point results. */
+class RunCache
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t stores = 0;
+        /** Entries present but failing verification (recomputed). */
+        std::uint64_t corrupt = 0;
+        /** Failed writes (unwritable dir etc.; never fatal). */
+        std::uint64_t storeFailures = 0;
+    };
+
+    /**
+     * @param dir  Cache directory; created lazily on first store.
+     * @param salt Invalidation salt mixed into every key.
+     */
+    RunCache(std::string dir, std::string salt);
+
+    /**
+     * Look up @p key; on hit, fill @p rows (exactly
+     * @p expectRows of them) and return true. Structurally
+     * invalid or mismatching entries count as corrupt misses.
+     */
+    bool lookup(const std::string &key, std::size_t expectRows,
+                std::vector<std::string> *rows);
+
+    /** Persist @p rows under @p key (best effort, atomic). */
+    void store(const std::string &key,
+               const std::vector<std::string> &rows);
+
+    const Stats &stats() const { return stats_; }
+    const std::string &dir() const { return dir_; }
+
+  private:
+    std::string pathFor(const std::string &key) const;
+
+    std::string dir_;
+    std::string salt_;
+    Stats stats_;
+    bool warnedStoreFailure_ = false;
+};
+
+}  // namespace cxlsim::sweep
+
+#endif  // CXLSIM_SIM_RUN_CACHE_HH

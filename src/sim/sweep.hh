@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Deterministic parallel sweep engine for the figure suite.
+ *
+ * Every figure/table bench is hundreds of independent simulation
+ * runs whose formatted rows are printed in a fixed narrative
+ * order. Instead of a serial `for (setup) for (config)` nest with
+ * printf interleaved, a bench *declares* its output as a sequence
+ * of items on a Sweep:
+ *
+ *   - text  — literal bytes emitted verbatim (headers, captions);
+ *   - point — one independent simulation closure producing one or
+ *             more output slots (formatted row blocks);
+ *   - gather — a serial transform over already-computed point
+ *             slots (table assembly, suite-wide statistics),
+ *             evaluated in declaration order at render time.
+ *
+ * run() executes all points over the persistent parallelFor worker
+ * pool, buffering each point's slots out-of-band, then walks the
+ * item sequence and streams it to stdout — so the bytes are
+ * identical to the serial program for any --jobs value. Points are
+ * also the unit of caching: each one's slots are persisted in a
+ * content-addressed RunCache keyed by (salt, scope, point key), so
+ * re-running a figure recomputes only points whose keys changed.
+ *
+ * Contract for point closures: capture everything by value (the
+ * declaring frame is gone by run()-time; share heavyweight state
+ * via shared_ptr), construct platforms/backends inside the
+ * closure, touch nothing but the Emit slots handed in (or
+ * internally synchronized state such as SlowdownStudy's memo), and
+ * derive all randomness from fixed seeds. The point key must name
+ * every input the slots depend on — label, config, seed — since
+ * equal keys are assumed to yield equal bytes.
+ *
+ * Gathers that need full-precision values from a point (not just
+ * its printed rows) read them from a hidden slot the point fills
+ * with hexfloats (Emit::hexDoubles / parseHexDoubles): exact
+ * round-trip, so cached and live runs stay bit-identical.
+ */
+
+#ifndef CXLSIM_SIM_SWEEP_HH
+#define CXLSIM_SIM_SWEEP_HH
+
+#include <cstdarg>
+#include <cstddef>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cxlsim::sweep {
+
+class RunCache;
+
+/**
+ * Cache-invalidation salt: names the current simulator behaviour
+ * version. Bump it in any PR that intentionally changes simulation
+ * results or row formatting, which orphans all prior cache entries
+ * at once (DESIGN.md §9's invalidation policy).
+ */
+inline constexpr const char *kSweepSalt = "melody-sweep-v1";
+
+/** Append-only output buffer handed to point/gather closures. */
+class Emit
+{
+  public:
+    /** printf-style formatted append. */
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(__printf__, 2, 3)))
+#endif
+    // The member is *named* printf so migrated benches keep their
+    // familiar idiom; it appends to a string, streams stay closed.
+    // lint:allow(err-stray-stream)
+    void printf(const char *fmt, ...)
+    {
+        std::va_list ap;
+        va_start(ap, fmt);
+        vappend(fmt, ap);
+        va_end(ap);
+    }
+
+    /** Append raw bytes. */
+    void text(std::string_view s) { buf_.append(s); }
+
+    /**
+     * Append doubles as space-separated hexfloats + '\n': exact
+     * round-trip for hidden slots feeding gathers.
+     */
+    void hexDoubles(const std::vector<double> &vs);
+
+    const std::string &str() const { return buf_; }
+    std::string take() { return std::move(buf_); }
+
+  private:
+    friend class Sweep;  // textf() routes through vappend
+
+    void vappend(const char *fmt, std::va_list ap);
+
+    std::string buf_;
+};
+
+/** Decode an Emit::hexDoubles slot (whitespace-separated floats). */
+std::vector<double> parseHexDoubles(std::string_view s);
+
+/** Execution knobs, normally taken from the environment/CLI. */
+struct Options
+{
+    /** Worker threads for the point fan-out; 0 = hardware. */
+    unsigned jobs = 0;
+    /** Use the persistent run cache. */
+    bool cache = true;
+    /** Cache directory. */
+    std::string cacheDir = "results/.runcache";
+    /** Cache salt; empty means kSweepSalt. */
+    std::string salt;
+};
+
+/**
+ * Options with MELODY_SWEEP_JOBS / MELODY_SWEEP_CACHE (0|1) /
+ * MELODY_SWEEP_CACHE_DIR applied over the defaults — how the
+ * standalone bench binaries pick up configuration without flags.
+ */
+Options optionsFromEnv();
+
+/** Declared output sequence + point set of one bench (or suite). */
+class Sweep
+{
+  public:
+    /** Closure of a point: fills its declared slots. */
+    using PointFn = std::function<void(Emit *slots)>;
+    /** Serial render-time transform over point-slot strings. */
+    using GatherFn = std::function<void(
+        const std::vector<std::string> &inputs, Emit &out)>;
+
+    /** Reference to one output slot of a declared point. */
+    struct SlotRef
+    {
+        std::size_t point;
+        std::size_t slot;
+    };
+
+    struct Report
+    {
+        std::size_t points = 0;
+        std::size_t cacheHits = 0;
+        std::size_t cacheStores = 0;
+        std::size_t corruptEntries = 0;
+    };
+
+    explicit Sweep(std::string name, Options opts = Options());
+    ~Sweep();
+
+    Sweep(const Sweep &) = delete;
+    Sweep &operator=(const Sweep &) = delete;
+
+    /**
+     * Set the cache-key scope for subsequently declared points.
+     * The suite runner sets this to each figure's binary name so
+     * CLI and standalone runs share cache entries; standalone
+     * figure mains get it from figureMain(). Defaults to the
+     * sweep name.
+     */
+    void scope(std::string scope);
+
+    /** Literal bytes at this position. */
+    void text(std::string s);
+
+    /** printf-style literal. */
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(__printf__, 2, 3)))
+#endif
+    void textf(const char *fmt, ...);
+
+    /**
+     * Declare a point with @p slots output slots; place none.
+     * @p key must be unique within the current scope, single-line,
+     * and must encode every input the output depends on.
+     */
+    std::size_t point(std::string key, std::size_t slots,
+                      PointFn fn);
+
+    /** Common case: one slot, placed right here. */
+    void point(std::string key, std::function<void(Emit &)> fn);
+
+    /** Emit slot @p slot of point @p id at this position. */
+    void place(std::size_t id, std::size_t slot = 0);
+
+    /** Declaration-order transform over @p inputs, emitted here. */
+    void gather(std::vector<SlotRef> inputs, GatherFn fn);
+
+    /** Slot refs for all slots of @p id, in order. */
+    std::vector<SlotRef> slotsOf(std::size_t id) const;
+
+    /**
+     * Execute all points (cache-aware, parallel) and stream the
+     * item sequence to @p out.
+     */
+    Report run(std::FILE *out = stdout);
+
+    /** run() into a string — tests and byte-compare harnesses. */
+    std::string renderToString(Report *report = nullptr);
+
+  private:
+    struct Item;
+    struct Point;
+    struct Gather;
+
+    void compute(Report *report);
+    void render(std::FILE *out, std::string *str);
+
+    std::string name_;
+    std::string scope_;
+    Options opts_;
+    std::unique_ptr<RunCache> cache_;
+    std::vector<Item> items_;
+    std::vector<Point> points_;
+    std::vector<Gather> gathers_;
+    bool ran_ = false;
+};
+
+}  // namespace cxlsim::sweep
+
+#endif  // CXLSIM_SIM_SWEEP_HH

@@ -1,0 +1,108 @@
+#include "rows.hh"
+
+#include <cstdio>
+
+namespace cxlsim::stats {
+
+namespace {
+
+/** Append "<decimal>\n". */
+void
+appendLen(std::string *out, std::size_t n)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%zu\n", n);
+    out->append(buf);
+}
+
+/**
+ * Parse "<decimal>\n" at @p pos; advance @p pos past the newline.
+ * @return false on malformed input.
+ */
+bool
+parseLen(std::string_view blob, std::size_t *pos, std::size_t *n)
+{
+    std::size_t v = 0;
+    std::size_t i = *pos;
+    if (i >= blob.size() || blob[i] < '0' || blob[i] > '9')
+        return false;
+    for (; i < blob.size() && blob[i] >= '0' && blob[i] <= '9'; ++i) {
+        if (v > (SIZE_MAX - 9) / 10)
+            return false;  // length overflow
+        v = v * 10 + static_cast<std::size_t>(blob[i] - '0');
+    }
+    if (i >= blob.size() || blob[i] != '\n')
+        return false;
+    *pos = i + 1;
+    *n = v;
+    return true;
+}
+
+}  // namespace
+
+std::string
+encodeRows(const std::vector<std::string> &rows)
+{
+    std::string out;
+    std::size_t total = 16;
+    for (const auto &r : rows)
+        total += r.size() + 16;
+    out.reserve(total);
+    appendLen(&out, rows.size());
+    for (const auto &r : rows) {
+        appendLen(&out, r.size());
+        out.append(r);
+    }
+    return out;
+}
+
+bool
+decodeRows(std::string_view blob, std::vector<std::string> *out)
+{
+    std::size_t pos = 0;
+    std::size_t count = 0;
+    if (!parseLen(blob, &pos, &count))
+        return false;
+    // A count an attacker-free cache could still corrupt into
+    // something huge: each row needs at least its length line, so
+    // bound by the remaining bytes before allocating.
+    if (count > blob.size() - pos + 1)
+        return false;
+    std::vector<std::string> rows;
+    rows.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        std::size_t len = 0;
+        if (!parseLen(blob, &pos, &len))
+            return false;
+        if (len > blob.size() - pos)
+            return false;
+        rows.emplace_back(blob.substr(pos, len));
+        pos += len;
+    }
+    if (pos != blob.size())
+        return false;  // trailing garbage
+    *out = std::move(rows);
+    return true;
+}
+
+std::uint64_t
+fnv1a64(std::string_view bytes, std::uint64_t seed)
+{
+    std::uint64_t h = seed;
+    for (const char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return std::string(buf, 16);
+}
+
+}  // namespace cxlsim::stats

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Serializable row blocks: the unit of exchange between the sweep
+ * engine (src/sim/sweep.hh) and the run cache
+ * (src/sim/run_cache.hh).
+ *
+ * A sweep point produces an ordered list of formatted row blocks
+ * (one string per output slot). encodeRows() packs such a list
+ * into a single self-delimiting byte string that can be hashed,
+ * persisted and later decoded back without any loss — cached
+ * re-emission must be byte-identical to a live run. The format is
+ * length-prefixed (rows may contain any byte including '\n'), with
+ * a leading count, so truncation or corruption is always detected
+ * structurally before the caller ever sees partial rows.
+ */
+
+#ifndef CXLSIM_STATS_ROWS_HH
+#define CXLSIM_STATS_ROWS_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cxlsim::stats {
+
+/** Pack @p rows into one self-delimiting byte string. */
+std::string encodeRows(const std::vector<std::string> &rows);
+
+/**
+ * Decode a blob produced by encodeRows().
+ *
+ * @return false (leaving @p out untouched) on any structural
+ *         mismatch — bad header, length overrun, trailing bytes.
+ */
+bool decodeRows(std::string_view blob, std::vector<std::string> *out);
+
+/** 64-bit FNV-1a over @p bytes; seedable for chained hashing. */
+std::uint64_t fnv1a64(std::string_view bytes,
+                      std::uint64_t seed = 14695981039346656037ull);
+
+/** Fixed-width lowercase-hex rendering of @p v (16 chars). */
+std::string hex64(std::uint64_t v);
+
+}  // namespace cxlsim::stats
+
+#endif  // CXLSIM_STATS_ROWS_HH

@@ -76,6 +76,20 @@ TEST(LintDeterminism, UnorderedIterFiresInStatsPath)
               (Expected{{"det-unordered-iter", 15}}));
 }
 
+TEST(LintDeterminism, UnorderedIterFiresInSweepEnginePaths)
+{
+    // The sweep engine renders figure bytes, so it is an output
+    // path even though it lives under src/sim/.
+    const auto sweepDiags = lintSource(
+        "src/sim/sweep.cc", fixture("det_unordered_iter.cc"));
+    EXPECT_EQ(ruleLines(sweepDiags),
+              (Expected{{"det-unordered-iter", 15}}));
+    const auto cacheDiags = lintSource(
+        "src/sim/run_cache.cc", fixture("det_unordered_iter.cc"));
+    EXPECT_EQ(ruleLines(cacheDiags),
+              (Expected{{"det-unordered-iter", 15}}));
+}
+
 TEST(LintDeterminism, UnorderedIterQuietOutsideOutputPaths)
 {
     // The same loop in the memory model is order-insensitive

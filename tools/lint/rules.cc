@@ -219,7 +219,9 @@ ruleDetUnorderedIter(const std::string &path, const Tokens &t,
     const bool scoped = underDir(path, "src/stats/") ||
                         underDir(path, "src/spa/") ||
                         underDir(path, "bench/") ||
-                        underDir(path, "tools/");
+                        underDir(path, "tools/") ||
+                        pathHas(path, "sim/sweep") ||
+                        pathHas(path, "sim/run_cache");
     if (!scoped)
         return;
 

@@ -7,6 +7,8 @@
  *   melody characterize <srv> <mem>     idle/tail latency + peak BW
  *   melody slowdown <wl> <srv> <mem>    slowdown + Spa breakdown
  *   melody sweep <wl>                   one workload across setups
+ *   melody sweep [opts] <fig...>|all    figure suite via the sweep
+ *                                       engine (parallel + cached)
  *   melody period <wl> <mem> [N]        period-based breakdown
  *   melody advise <wl> <mem>            §5.7 tiering advice
  *   melody batch <srv> <mem> [stride]   whole-suite slowdowns, CSV
@@ -18,12 +20,16 @@
 #include <cstring>
 #include <string>
 
+#include <vector>
+
+#include "bench/figures.hh"
 #include "core/mio.hh"
 #include "core/mlc.hh"
 #include "core/platform.hh"
 #include "core/slowdown.hh"
 #include "ras/fault_plan.hh"
 #include "sim/logging.hh"
+#include "sim/sweep.hh"
 #include "spa/advisor.hh"
 #include "spa/breakdown.hh"
 #include "spa/period.hh"
@@ -46,6 +52,9 @@ usage()
         "  melody characterize <server> <memory>\n"
         "  melody slowdown <workload> <server> <memory>\n"
         "  melody sweep <workload>\n"
+        "  melody sweep [--jobs N] [--no-cache] [--cache-dir D] "
+        "<figure...>|all\n"
+        "  melody sweep --list\n"
         "  melody period <workload> <memory> [periods]\n"
         "  melody advise <workload> <memory>\n"
         "  melody batch <server> <memory> [stride]\n"
@@ -179,6 +188,74 @@ cmdSweep(const std::string &wl)
 }
 
 int
+cmdSweepFigures(const std::vector<std::string> &args)
+{
+    sweep::Options opts = sweep::optionsFromEnv();
+    std::vector<const figs::Figure *> picked;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        if (a == "--list") {
+            for (const auto &f : figs::all())
+                std::printf("%-12s %-26s %s\n", f.name, f.binary,
+                            f.title);
+            return 0;
+        } else if (a == "--jobs") {
+            if (i + 1 == args.size())
+                throw ConfigError("--jobs needs a value");
+            opts.jobs = parseUnsignedArg(args[++i].c_str(), "--jobs");
+        } else if (a == "--no-cache") {
+            opts.cache = false;
+        } else if (a == "--cache-dir") {
+            if (i + 1 == args.size())
+                throw ConfigError("--cache-dir needs a value");
+            opts.cacheDir = args[++i];
+        } else if (a == "all") {
+            for (const auto &f : figs::all())
+                picked.push_back(&f);
+        } else {
+            const auto *f = figs::find(a);
+            if (!f)
+                throw ConfigError("unknown figure '" + a +
+                                  "' (melody sweep --list)");
+            picked.push_back(f);
+        }
+    }
+    if (picked.empty())
+        throw ConfigError("no figures selected "
+                          "(melody sweep --list)");
+
+    // One engine run for the whole selection; each figure keeps its
+    // own cache scope so entries are shared with the standalone
+    // bench binaries.
+    sweep::Sweep s("melody-sweep", opts);
+    for (const auto *f : picked) {
+        s.scope(f->binary);
+        f->build(s);
+    }
+    const sweep::Sweep::Report rep = s.run(stdout);
+    std::fprintf(stderr,
+                 "melody sweep: %zu figure(s), %zu point(s), "
+                 "%zu cache hit(s), %zu store(s), %zu corrupt\n",
+                 picked.size(), rep.points, rep.cacheHits,
+                 rep.cacheStores, rep.corruptEntries);
+    return 0;
+}
+
+/** True when the `sweep` arguments select figure mode (flags,
+ *  `all`, or a known figure alias/binary) rather than a workload. */
+bool
+sweepWantsFigures(int argc, char **argv)
+{
+    if (argc < 3)
+        return false;
+    if (argc > 3)
+        return true;  // `sweep <workload>` is always exactly 1 arg
+    const std::string a = argv[2];
+    return a.rfind("--", 0) == 0 || a == "all" ||
+           figs::find(a) != nullptr;
+}
+
+int
 cmdPeriod(const std::string &wl, const std::string &mem,
           unsigned periods)
 {
@@ -305,6 +382,9 @@ dispatch(int argc, char **argv)
         return cmdCharacterize(argv[2], argv[3]);
     if (cmd == "slowdown" && argc == 5)
         return cmdSlowdown(argv[2], argv[3], argv[4]);
+    if (cmd == "sweep" && sweepWantsFigures(argc, argv))
+        return cmdSweepFigures(
+            std::vector<std::string>(argv + 2, argv + argc));
     if (cmd == "sweep" && argc == 3)
         return cmdSweep(argv[2]);
     if (cmd == "period" && argc >= 4)
