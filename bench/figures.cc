@@ -1,6 +1,11 @@
 #include "bench/figures.hh"
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <thread>
 
 #include "sim/logging.hh"
 
@@ -61,12 +66,68 @@ all()
     return kFigures;
 }
 
+void
+buildCrashTest(cxlsim::sweep::Sweep &s)
+{
+    using cxlsim::sweep::Emit;
+    // The mode is part of the victim's cache key: a cached "ok"
+    // result must never satisfy a "segv" run (and vice versa).
+    const char *env = std::getenv("MELODY_CRASHTEST_MODE");
+    const std::string mode = env ? env : "ok";
+
+    s.text("# crashtest: supervised-execution self test\n");
+    for (int k = 0; k < 2; ++k)
+        s.point("pre k=" + std::to_string(k), [k](Emit &e) {
+            e.printf("pre %d = %d\n", k, k * k);
+        });
+    const std::size_t victim = s.point(
+        "victim mode=" + mode, 1, [mode](Emit *slots) {
+            if (mode == "segv") {
+                volatile int *p = nullptr;
+                *p = 42;  // deliberate: exercises SIGSEGV handling
+            } else if (mode == "abort") {
+                std::abort();
+            } else if (mode == "hang") {
+                for (;;)
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(50));
+            } else if (mode == "exception") {
+                throw std::runtime_error("crashtest exception");
+            } else if (mode == "exit") {
+                std::_Exit(7);
+            }
+            slots[0].text("victim ok\n");
+        });
+    s.place(victim);
+    for (int k = 0; k < 2; ++k)
+        s.point("post k=" + std::to_string(k), [k](Emit &e) {
+            e.printf("post %d = %d\n", k, k * k * k);
+        });
+    // A gather over the victim: must render its skip placeholder
+    // (not crash) when the victim failed.
+    s.gather(s.slotsOf(victim),
+             [](const std::vector<std::string> &in, Emit &out) {
+                 out.printf("victim emitted %zu byte(s)\n",
+                            in[0].size());
+             });
+}
+
 const Figure *
 find(const std::string &nameOrBinary)
 {
     for (const Figure &f : all())
         if (nameOrBinary == f.name || nameOrBinary == f.binary)
             return &f;
+    // Test-only figure (see figures.hh): resolvable by name so the
+    // CI crash-recovery job and test_supervisor can select it, but
+    // absent from all() so `sweep all` never runs it.
+    static const Figure kCrashTest = {
+        "crashtest", "crashtest_selftest",
+        "Supervised-execution self test (test-only)",
+        buildCrashTest};
+    if (nameOrBinary == kCrashTest.name ||
+        nameOrBinary == kCrashTest.binary)
+        return &kCrashTest;
     return nullptr;
 }
 
@@ -81,7 +142,26 @@ figureMain(const char *binary)
         sweep::Sweep s(fig->binary, sweep::optionsFromEnv());
         s.scope(fig->binary);
         fig->build(s);
-        s.run(stdout);
+        const sweep::Sweep::Report rep = s.run(stdout);
+        // Degraded isolated runs (or invariant violations) exit
+        // nonzero with a stderr summary; surviving output already
+        // streamed above.
+        if (!rep.clean()) {
+            for (const auto &f : rep.failures)
+                std::fprintf(stderr,
+                             "%s: point failed: %s (%s, %u "
+                             "attempt(s))\n",
+                             binary, f.key.c_str(),
+                             f.cause.c_str(), f.attempts);
+            for (const auto &d : rep.invariantDiags)
+                std::fprintf(stderr,
+                             "%s: invariant %s at %s: %s "
+                             "[point %s]\n",
+                             binary, d.invariant.c_str(),
+                             d.where.c_str(), d.values.c_str(),
+                             d.pointKey.c_str());
+            return 1;
+        }
     } catch (const ConfigError &e) {
         std::fprintf(stderr, "%s: %s\n", binary, e.what());
         return 2;

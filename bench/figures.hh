@@ -67,6 +67,15 @@ void buildPoolingInterference(cxlsim::sweep::Sweep &);
 void buildPredictionAccuracy(cxlsim::sweep::Sweep &);
 void buildTieringPolicies(cxlsim::sweep::Sweep &);
 
+/**
+ * Test-only figure exercising the supervised sweep runner: its
+ * "victim" point misbehaves per MELODY_CRASHTEST_MODE
+ * (segv | abort | hang | exception | exit | ok). Registered so
+ * find() resolves it (CI crash-recovery job, test_supervisor) but
+ * hidden from all() so it never runs as part of `sweep all`.
+ */
+void buildCrashTest(cxlsim::sweep::Sweep &);
+
 }  // namespace figs
 
 #endif  // MELODY_BENCH_FIGURES_HH

@@ -1,6 +1,9 @@
 #include "hierarchy.hh"
 
 #include <algorithm>
+#include <string>
+
+#include "sim/invariants.hh"
 
 namespace cxlsim::cpu {
 
@@ -43,6 +46,7 @@ MemoryHierarchy::handleEviction(PerCore *pc, unsigned from_level,
         // LLC victim: write back to memory (fire and forget — the
         // write occupies backend bandwidth but nothing waits on it).
         backend_->access(ev.lineAddr, mem::ReqType::kWriteback, now);
+        ++pc->pf.writebacks;
         return;
     }
     // L1/L2 victim: merge the dirty data into the next level.
@@ -221,6 +225,7 @@ MemoryHierarchy::storeRfo(unsigned core, Addr addr, Tick now)
 
     // RFO fetches ownership + data from memory.
     const Tick done = backend_->access(line, mem::ReqType::kRfo, now);
+    ++pc.pf.rfoFetches;
     handleEviction(&pc, 3, l3_.insert(line, done, StallTag::kDram, false),
                    now);
     handleEviction(&pc, 1, pc.l1.insert(line, done, StallTag::kDram, true),
@@ -307,6 +312,13 @@ MemoryHierarchy::runL1Prefetcher(PerCore &pc, unsigned stream_id,
                        now);
         pc.l1pfInflight.push(at);
     }
+    if (sim::Invariants *inv = sim::currentInvariants())
+        if (pc.l1pfInflight.size() > profile_.l1pf.budget)
+            inv->record(
+                "queue/pf-occupancy", "l1pfInflight",
+                "size=" + std::to_string(pc.l1pfInflight.size()) +
+                    " budget=" +
+                    std::to_string(profile_.l1pf.budget));
 }
 
 void
@@ -370,6 +382,17 @@ MemoryHierarchy::runL2Prefetcher(PerCore &pc, Addr line, Tick now)
         }
         pc.l2pfInflight.push(at);
     }
+    // The feedback throttle never shrinks the depth below 2, so
+    // occupancy is bounded by the larger of that floor and the
+    // configured budget.
+    if (sim::Invariants *inv = sim::currentInvariants())
+        if (pc.l2pfInflight.size() >
+            std::max(2u, profile_.l2pf.budget))
+            inv->record(
+                "queue/pf-occupancy", "l2pfInflight",
+                "size=" + std::to_string(pc.l2pfInflight.size()) +
+                    " budget=" +
+                    std::to_string(profile_.l2pf.budget));
 }
 
 }  // namespace cxlsim::cpu

@@ -44,6 +44,10 @@ struct PfStats
     /** Prefetch fills dropped because they came back not-Ok
      *  (poison/timeout is never installed speculatively). */
     std::uint64_t prefetchDrops = 0;
+    /** Store RFOs that fell through to the memory backend. */
+    std::uint64_t rfoFetches = 0;
+    /** Dirty LLC victims written back to the memory backend. */
+    std::uint64_t writebacks = 0;
 };
 
 /** Outcome of a demand load. */

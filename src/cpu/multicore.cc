@@ -1,8 +1,10 @@
 #include "multicore.hh"
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
+#include "sim/invariants.hh"
 #include "sim/logging.hh"
 
 namespace cxlsim::cpu {
@@ -102,6 +104,7 @@ MultiCore::run()
         r.wallTicks = std::max(r.wallTicks, c->now());
         r.counters += c->counters();
     }
+    checkInvariants();
     // Normalize counters to a per-core view so Spa's cycle
     // denominators match wall time for symmetric threads.
     r.counters.scale(1.0 / static_cast<double>(cores_.size()));
@@ -109,6 +112,78 @@ MultiCore::run()
     r.backendStats = backend_->stats();
     backend_->rasReport(&r.ras);
     return r;
+}
+
+void
+MultiCore::checkInvariants() const
+{
+    sim::Invariants *inv = sim::currentInvariants();
+    if (!inv)
+        return;
+
+    // End-of-run accounting contracts (DESIGN.md §10); each check
+    // was derived from the accounting rules in core.cc /
+    // hierarchy.cc and holds on every fault-free run.
+    std::uint64_t l3Misses = 0;   // demand + prefetch LLC misses
+    std::uint64_t reads = 0;      // expected backend read count
+    std::uint64_t writes = 0;     // expected backend write count
+    for (unsigned c = 0; c < cores_.size(); ++c) {
+        const CounterSet cs = cores_[c]->counters();
+        const std::string where = "core " + std::to_string(c);
+
+        // P1 >= P3 >= P4 >= P5 >= 0: the same stall interval is
+        // added to each accumulator whose level it is at-or-below,
+        // so the chain nests (up to float summation noise).
+        if (!(sim::approxGe(cs.p1, cs.p3) &&
+              sim::approxGe(cs.p3, cs.p4) &&
+              sim::approxGe(cs.p4, cs.p5) &&
+              sim::approxGe(cs.p5, 0.0)))
+            inv->record("counters/nesting", where,
+                        "p1=" + std::to_string(cs.p1) +
+                            " p3=" + std::to_string(cs.p3) +
+                            " p4=" + std::to_string(cs.p4) +
+                            " p5=" + std::to_string(cs.p5));
+
+        // Every prefetch LLC outcome stems from one issued
+        // prefetch (exact integer counts).
+        const PfStats &pf = hier_->pfStats(c);
+        if (pf.l1pfL3Hit + pf.l1pfL3Miss > pf.l1pfIssued ||
+            pf.l2pfL3Hit + pf.l2pfL3Miss > pf.l2pfIssued)
+            inv->record(
+                "counters/pf-subset", where,
+                "l1pf=" + std::to_string(pf.l1pfL3Hit) + "+" +
+                    std::to_string(pf.l1pfL3Miss) + "/" +
+                    std::to_string(pf.l1pfIssued) +
+                    " l2pf=" + std::to_string(pf.l2pfL3Hit) +
+                    "+" + std::to_string(pf.l2pfL3Miss) + "/" +
+                    std::to_string(pf.l2pfIssued));
+
+        l3Misses += pf.demandL3Miss + pf.l1pfL3Miss +
+                    pf.l2pfL3Miss;
+        reads += pf.demandL3Miss + pf.l1pfL3Miss +
+                 pf.l2pfL3Miss + pf.rfoFetches;
+        writes += pf.writebacks;
+    }
+
+    // Demand/prefetch LLC-miss populations are counted on true LLC
+    // lookup misses, so the shared LLC's own miss counter bounds
+    // their sum (it additionally counts RFO misses).
+    if (l3Misses > hier_->l3().misses())
+        inv->record("counters/l3-subset", "llc",
+                    "counted=" + std::to_string(l3Misses) +
+                        " llcMisses=" +
+                        std::to_string(hier_->l3().misses()));
+
+    // Request conservation at the backend: every read it served
+    // was a demand L3 miss, a prefetch L3 miss, or an RFO fetch;
+    // every write was an LLC writeback.
+    const mem::BackendStats bs = backend_->stats();
+    if (bs.reads != reads || bs.writes != writes)
+        inv->record("counters/conservation", "backend",
+                    "reads=" + std::to_string(bs.reads) + "/" +
+                        std::to_string(reads) +
+                        " writes=" + std::to_string(bs.writes) +
+                        "/" + std::to_string(writes));
 }
 
 }  // namespace cxlsim::cpu

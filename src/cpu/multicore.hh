@@ -88,6 +88,9 @@ class MultiCore
     MemoryHierarchy &hierarchy() { return *hier_; }
 
   private:
+    /** End-of-run counter-accounting checks (sim::Invariants). */
+    void checkInvariants() const;
+
     std::vector<std::unique_ptr<Kernel>> kernels_;
     std::unique_ptr<MemoryHierarchy> hier_;
     std::vector<std::unique_ptr<Core>> cores_;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+
+#include "sim/invariants.hh"
 
 namespace cxlsim::cxl {
 
@@ -247,6 +250,19 @@ CxlController::serviceEx(Addr addr, bool is_write, Tick arrival)
         // latency on top of any sampled fault.
         if (r.monitor.state() == ras::DeviceHealth::kDegraded)
             done += nsToTicks(r.mediaParams.scrubExtraNs);
+    }
+
+    // Service contracts (DESIGN.md §10): a completion can never
+    // precede its arrival, and the bandwidth-utilization EWMA is
+    // clamped into [0, 1] by construction.
+    if (sim::Invariants *inv = sim::currentInvariants()) {
+        if (done < arrival)
+            inv->record("cxl/completion-order", "CxlController",
+                        "arrival=" + std::to_string(arrival) +
+                            " done=" + std::to_string(done));
+        if (util_ < 0.0 || util_ > 1.0)
+            inv->record("cxl/utilization-bounds", "CxlController",
+                        "util=" + std::to_string(util_));
     }
 
     return {done, status};

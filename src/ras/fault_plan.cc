@@ -105,6 +105,15 @@ FaultPlan::validate() const
 FaultPlan
 parseFaultPlan(const std::string &spec)
 {
+    // Specs arrive verbatim from the CLI/environment: bound every
+    // dimension up front so hostile or accidental megabyte inputs
+    // fail fast as ConfigError instead of exhausting memory.
+    if (spec.size() > kFaultPlanMaxSpecBytes)
+        throw ConfigError(
+            "fault plan: spec is " + std::to_string(spec.size()) +
+            " bytes, limit is " +
+            std::to_string(kFaultPlanMaxSpecBytes));
+
     FaultPlan plan;
     std::size_t pos = 0;
     while (pos <= spec.size()) {
@@ -115,11 +124,22 @@ parseFaultPlan(const std::string &spec)
         pos = comma + 1;
         if (tok.empty())
             continue;
+        if (tok.size() > kFaultPlanMaxTokenBytes)
+            throw ConfigError(
+                "fault plan: token is " +
+                std::to_string(tok.size()) + " bytes, limit is " +
+                std::to_string(kFaultPlanMaxTokenBytes) + ": '" +
+                tok.substr(0, 32) + "...'");
 
         const auto at = tok.find('@');
         const auto eq = tok.find('=');
         if (at != std::string::npos && (eq == std::string::npos ||
                                         at < eq)) {
+            if (plan.events.size() >= kFaultPlanMaxEvents)
+                throw ConfigError(
+                    "fault plan: more than " +
+                    std::to_string(kFaultPlanMaxEvents) +
+                    " scheduled events");
             const std::string kind = tok.substr(0, at);
             const std::string rest = tok.substr(at + 1);
             if (kind == "offline")

@@ -29,6 +29,7 @@
 #ifndef CXLSIM_RAS_FAULT_PLAN_HH
 #define CXLSIM_RAS_FAULT_PLAN_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -81,9 +82,17 @@ struct FaultPlan
     void validate() const;
 };
 
+/** Hard input limits for parseFaultPlan — specs come straight
+ *  from the CLI/environment, so oversized input must fail as a
+ *  ConfigError, never as memory exhaustion or an abort. */
+inline constexpr std::size_t kFaultPlanMaxSpecBytes = 4096;
+inline constexpr std::size_t kFaultPlanMaxTokenBytes = 128;
+inline constexpr std::size_t kFaultPlanMaxEvents = 128;
+
 /**
  * Parse a fault-plan spec string (see file comment for grammar).
- * @throw ConfigError on unknown tokens or malformed values.
+ * @throw ConfigError on unknown tokens, malformed values, or any
+ *        exceeded input limit (spec/token length, event count).
  */
 [[nodiscard]] FaultPlan parseFaultPlan(const std::string &spec);
 

@@ -1,5 +1,8 @@
 #include "event_queue.hh"
 
+#include <string>
+
+#include "invariants.hh"
 #include "logging.hh"
 
 namespace cxlsim {
@@ -40,7 +43,20 @@ EventQueue::siftDown(std::size_t i)
 void
 EventQueue::schedule(Tick when, Handler fn)
 {
-    SIM_ASSERT(when >= now_, "scheduling into the past");
+    if (when < now_) {
+        // With a collector installed, report the violation as a
+        // structured diagnostic and clamp so the run can finish
+        // (degraded-but-attributable beats an abort mid-sweep);
+        // without one, keep the hard contract.
+        if (sim::Invariants *inv = sim::currentInvariants()) {
+            inv->record("eventq/schedule-past", "EventQueue",
+                        "when=" + std::to_string(when) +
+                            " now=" + std::to_string(now_));
+            when = now_;
+        } else {
+            SIM_ASSERT(when >= now_, "scheduling into the past");
+        }
+    }
     std::uint32_t slot;
     if (!freeSlots_.empty()) {
         slot = freeSlots_.back();
@@ -60,7 +76,16 @@ EventQueue::step()
     if (heap_.empty())
         return false;
     const Key top = heap_.front();
-    now_ = top.when;
+    if (top.when >= now_) {
+        now_ = top.when;
+    } else {
+        // Heap order broken (time would run backwards): report
+        // under a collector and hold now_ instead of regressing.
+        if (sim::Invariants *inv = sim::currentInvariants())
+            inv->record("eventq/monotonic-time", "EventQueue",
+                        "next=" + std::to_string(top.when) +
+                            " now=" + std::to_string(now_));
+    }
     if (heap_.size() > 1) {
         heap_.front() = heap_.back();
         heap_.pop_back();

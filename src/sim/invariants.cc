@@ -1,0 +1,43 @@
+#include "invariants.hh"
+
+#include <utility>
+
+namespace cxlsim::sim {
+
+namespace {
+
+/** Per-thread collector; points run on parallelFor workers, so the
+ *  installation must be thread-scoped, not global. */
+thread_local Invariants *tlsInvariants = nullptr;
+
+}  // namespace
+
+void
+Invariants::record(std::string invariant, std::string where,
+                   std::string values)
+{
+    if (violations_.size() >= kMaxRecorded) {
+        ++dropped_;
+        return;
+    }
+    violations_.push_back({std::move(invariant), std::move(where),
+                           std::move(values)});
+}
+
+Invariants *
+currentInvariants()
+{
+    return tlsInvariants;
+}
+
+InvariantScope::InvariantScope(Invariants *inv) : prev_(tlsInvariants)
+{
+    tlsInvariants = inv;
+}
+
+InvariantScope::~InvariantScope()
+{
+    tlsInvariants = prev_;
+}
+
+}  // namespace cxlsim::sim

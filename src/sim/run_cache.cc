@@ -117,6 +117,72 @@ RunCache::lookup(const std::string &key, std::size_t expectRows,
     return true;
 }
 
+RunCache::DirStats
+RunCache::scanDir(const std::string &dir)
+{
+    namespace fs = std::filesystem;
+    DirStats ds;
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec);
+    if (ec)
+        return ds;  // missing/unreadable directory: empty cache
+    const std::string magic = kMagic;
+    for (const auto &entry : it) {
+        if (!entry.is_regular_file(ec))
+            continue;
+        const std::string path = entry.path().string();
+        if (entry.path().extension() != ".rcache") {
+            ++ds.foreign;
+            continue;
+        }
+        // Only the header is needed: magic line then salt line.
+        std::string head;
+        bool ok = false;
+        if (std::FILE *f = std::fopen(path.c_str(), "rb")) {
+            char buf[512];
+            const std::size_t n =
+                std::fread(buf, 1, sizeof(buf), f);
+            head.assign(buf, n);
+            ok = !std::ferror(f);
+            std::fclose(f);
+        }
+        std::string saltLine;
+        std::size_t pos = magic.size();
+        if (ok)
+            ok = head.compare(0, magic.size(), magic) == 0 &&
+                 takeLine(head, &pos, &saltLine);
+        if (!ok) {
+            ++ds.foreign;
+            continue;
+        }
+        ++ds.entries;
+        ds.bytes += entry.file_size(ec);
+        ++ds.perSalt[saltLine];
+    }
+    return ds;
+}
+
+std::uint64_t
+RunCache::clearDir(const std::string &dir)
+{
+    namespace fs = std::filesystem;
+    std::uint64_t removed = 0;
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec);
+    if (ec)
+        return 0;
+    for (const auto &entry : it) {
+        if (!entry.is_regular_file(ec))
+            continue;
+        const auto ext = entry.path().extension();
+        if (ext != ".rcache" && ext != ".tmp")
+            continue;
+        if (fs::remove(entry.path(), ec) && !ec)
+            ++removed;
+    }
+    return removed;
+}
+
 void
 RunCache::store(const std::string &key,
                 const std::vector<std::string> &rows)

@@ -32,6 +32,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -72,6 +73,33 @@ class RunCache
 
     const Stats &stats() const { return stats_; }
     const std::string &dir() const { return dir_; }
+
+    /** Summary of one cache directory (`melody cache stats`). */
+    struct DirStats
+    {
+        /** Well-formed entries (magic + salt header parse). */
+        std::uint64_t entries = 0;
+        /** Their total size in bytes. */
+        std::uint64_t bytes = 0;
+        /** Other files in the directory (torn temps, foreign). */
+        std::uint64_t foreign = 0;
+        /** Entry count per salt — stale generations show up as
+         *  extra keys here (ordered map: deterministic listing). */
+        std::map<std::string, std::uint64_t> perSalt;
+    };
+
+    /**
+     * Inspect @p dir without touching any entry. A missing
+     * directory yields all-zero stats (not an error).
+     */
+    static DirStats scanDir(const std::string &dir);
+
+    /**
+     * Delete every cache entry (and stray `.tmp`) under @p dir,
+     * leaving the directory itself and foreign files alone.
+     * @return number of files removed.
+     */
+    static std::uint64_t clearDir(const std::string &dir);
 
   private:
     std::string pathFor(const std::string &key) const;

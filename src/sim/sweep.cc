@@ -3,11 +3,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <map>
 #include <utility>
 
+#include "sim/journal.hh"
 #include "sim/logging.hh"
 #include "sim/parallel.hh"
 #include "sim/run_cache.hh"
+#include "sim/supervisor.hh"
+#include "stats/rows.hh"
 
 namespace cxlsim::sweep {
 
@@ -86,6 +90,13 @@ optionsFromEnv()
                     std::strcmp(cache, "off") == 0);
     if (const char *dir = std::getenv("MELODY_SWEEP_CACHE_DIR"))
         o.cacheDir = dir;
+    if (const char *iso = std::getenv("MELODY_SWEEP_ISOLATE"))
+        o.isolate = !(std::strcmp(iso, "0") == 0 ||
+                      std::strcmp(iso, "off") == 0);
+    if (const char *inv =
+            std::getenv("MELODY_SWEEP_CHECK_INVARIANTS"))
+        o.checkInvariants = !(std::strcmp(inv, "0") == 0 ||
+                              std::strcmp(inv, "off") == 0);
     return o;
 }
 
@@ -109,6 +120,11 @@ struct Sweep::Point
     PointFn fn;
     std::vector<std::string> slots;
     bool fromCache = false;
+    // Isolated-mode permanent failure (attempt budget exhausted):
+    // the point renders a deterministic placeholder instead.
+    bool failed = false;
+    unsigned attempts = 0;
+    std::string cause;
 };
 
 struct Sweep::Gather
@@ -224,12 +240,45 @@ Sweep::compute(Report *report)
     ran_ = true;
     report->points = points_.size();
 
-    // Phase 1: probe the cache serially (cheap file reads); a hit
-    // ships the point's slots without touching the simulator.
+    const std::string salt =
+        opts_.salt.empty() ? kSweepSalt : opts_.salt;
+    // Journal records are addressed exactly like run-cache entries,
+    // so a salt bump orphans both at once.
+    const auto hashOf = [&](const std::string &key) {
+        return stats::hex64(
+            stats::fnv1a64(key, stats::fnv1a64(salt)));
+    };
+    const bool isolate = opts_.isolate || opts_.resume;
+
+    // Phase 0: load journaled completions (resume mode). A salt or
+    // format mismatch is a user-facing configuration error.
+    std::map<std::string, std::vector<std::string>> journaled;
+    if (opts_.resume) {
+        if (opts_.journalPath.empty())
+            throw ConfigError(
+                "sweep resume requires a journal path");
+        std::string err;
+        if (!Journal::load(opts_.journalPath, salt, &journaled,
+                           &err))
+            throw ConfigError(err);
+    }
+
+    // Phase 1: satisfy points from the journal, then the cache,
+    // serially (cheap file reads); survivors go to the simulator.
     std::vector<std::size_t> pending;
     pending.reserve(points_.size());
     for (std::size_t i = 0; i < points_.size(); ++i) {
         Point &p = points_[i];
+        if (opts_.resume) {
+            const auto it = journaled.find(hashOf(p.key));
+            if (it != journaled.end() &&
+                it->second.size() == p.nSlots) {
+                p.slots = it->second;
+                p.fromCache = true;
+                ++report->resumedPoints;
+                continue;
+            }
+        }
         if (cache_ && cache_->lookup(p.key, p.nSlots, &p.slots)) {
             p.fromCache = true;
             continue;
@@ -237,18 +286,47 @@ Sweep::compute(Report *report)
         pending.push_back(i);
     }
 
-    // Phase 2: fan the misses out over the worker pool. Each
-    // closure writes only into its own pre-sized slot storage, so
-    // scheduling order cannot affect the rendered bytes. A throwing
-    // closure is captured and re-thrown from the lowest point index
-    // so the failure is deterministic too.
+    // Phase 2: compute the misses — supervised subprocesses under
+    // isolation, otherwise the in-process worker pool.
+    if (isolate)
+        computeIsolated(pending, salt, hashOf, report);
+    else
+        computeInProcess(pending, report);
+
+    // Phase 3: persist fresh results (isolated successes were
+    // stored the moment each worker reported back, so a later
+    // crash cannot lose them).
+    if (cache_) {
+        if (!isolate)
+            for (const std::size_t idx : pending)
+                cache_->store(points_[idx].key,
+                              points_[idx].slots);
+        report->cacheHits = cache_->stats().hits;
+        report->cacheStores = cache_->stats().stores;
+        report->corruptEntries = cache_->stats().corrupt;
+    }
+}
+
+void
+Sweep::computeInProcess(const std::vector<std::size_t> &pending,
+                        Report *report)
+{
+    // Fan out over the worker pool. Each closure writes only into
+    // its own pre-sized slot storage, so scheduling order cannot
+    // affect the rendered bytes. A throwing closure is captured and
+    // re-thrown from the lowest point index so the failure is
+    // deterministic too.
     std::vector<std::exception_ptr> errors(pending.size());
+    std::vector<sim::Invariants> invs(
+        opts_.checkInvariants ? pending.size() : 0);
     parallelFor(
         pending.size(),
         [&](std::size_t i) {
             Point &p = points_[pending[i]];
             std::vector<Emit> slots(p.nSlots);
             try {
+                sim::InvariantScope scope(
+                    opts_.checkInvariants ? &invs[i] : nullptr);
                 p.fn(slots.data());
             } catch (...) {
                 errors[i] = std::current_exception();
@@ -262,15 +340,86 @@ Sweep::compute(Report *report)
     for (const auto &err : errors)
         if (err)
             std::rethrow_exception(err);
+    for (std::size_t i = 0; i < invs.size(); ++i)
+        for (const auto &v : invs[i].violations())
+            report->invariantDiags.push_back(
+                {points_[pending[i]].key, v.invariant, v.where,
+                 v.values});
+}
 
-    // Phase 3: persist fresh results.
-    if (cache_) {
-        for (const std::size_t idx : pending)
-            cache_->store(points_[idx].key, points_[idx].slots);
-        report->cacheHits = cache_->stats().hits;
-        report->cacheStores = cache_->stats().stores;
-        report->corruptEntries = cache_->stats().corrupt;
+void
+Sweep::computeIsolated(
+    const std::vector<std::size_t> &pending,
+    const std::string &salt,
+    const std::function<std::string(const std::string &)> &hashOf,
+    Report *report)
+{
+    Journal journal;
+    if (!opts_.journalPath.empty()) {
+        journal.open(opts_.journalPath, opts_.resume);
+        journal.begin(name_, salt, opts_.resume);
     }
+    for (const std::size_t idx : pending)
+        journal.queued(hashOf(points_[idx].key), idx,
+                       points_[idx].key);
+
+    std::vector<SupervisorTask> tasks;
+    tasks.reserve(pending.size());
+    for (const std::size_t idx : pending)
+        tasks.push_back({idx, points_[idx].key,
+                         points_[idx].nSlots, &points_[idx].fn});
+
+    SupervisorConfig cfg;
+    cfg.jobs = opts_.jobs;
+    cfg.maxAttempts = opts_.maxAttempts;
+    cfg.timeoutMs = opts_.timeoutMs;
+    cfg.checkInvariants = opts_.checkInvariants;
+
+    // Workers complete in nondeterministic order; buffer the
+    // per-point diagnostics and flatten by point index so the
+    // report is stable.
+    std::map<std::size_t, std::vector<sim::InvariantViolation>>
+        diags;
+
+    SupervisorCallbacks cb;
+    cb.onStart = [&](std::size_t idx, unsigned attempt) {
+        journal.started(hashOf(points_[idx].key), attempt);
+    };
+    cb.onSuccess = [&](std::size_t idx, unsigned attempt,
+                       std::vector<std::string> slots,
+                       std::vector<sim::InvariantViolation>
+                           violations) {
+        Point &p = points_[idx];
+        p.slots = std::move(slots);
+        if (cache_)
+            cache_->store(p.key, p.slots);
+        journal.finished(hashOf(p.key), attempt, p.slots);
+        if (!violations.empty())
+            diags[idx] = std::move(violations);
+    };
+    cb.onFailure = [&](std::size_t idx, unsigned attempt,
+                       const std::string &cause, bool final) {
+        journal.failed(hashOf(points_[idx].key), attempt, cause,
+                       final);
+        if (final) {
+            Point &p = points_[idx];
+            p.failed = true;
+            p.attempts = attempt;
+            p.cause = cause;
+        }
+    };
+
+    const SupervisorReport srep = runSupervised(tasks, cfg, cb);
+    report->retries = srep.retries;
+    for (const auto &f : srep.failures)
+        report->failures.push_back({f.index,
+                                    points_[f.index].key,
+                                    f.attempts, f.cause});
+    for (const auto &[idx, vs] : diags)
+        for (const auto &v : vs)
+            report->invariantDiags.push_back(
+                {points_[idx].key, v.invariant, v.where,
+                 v.values});
 }
 
 void
@@ -282,16 +431,39 @@ Sweep::render(std::FILE *out, std::string *str)
         else if (!s.empty())
             std::fwrite(s.data(), 1, s.size(), out);
     };
+    // Deterministic degraded rendering: a permanently failed point
+    // (isolated mode only) renders a placeholder per placed slot,
+    // and a gather depending on one is skipped rather than fed
+    // partial inputs.
+    const auto placeholder = [](const Point &p) {
+        return "[melody] point failed: " + p.key + " (" + p.cause +
+               ", " + std::to_string(p.attempts) + " attempt(s))\n";
+    };
     for (const Item &it : items_) {
         switch (it.kind) {
           case Item::Kind::kText:
             put(it.text);
             break;
-          case Item::Kind::kSlot:
-            put(points_[it.slot.point].slots[it.slot.slot]);
+          case Item::Kind::kSlot: {
+            const Point &p = points_[it.slot.point];
+            put(p.failed ? placeholder(p)
+                         : p.slots[it.slot.slot]);
             break;
+          }
           case Item::Kind::kGather: {
             const Gather &g = gathers_[it.gather];
+            const Point *failedDep = nullptr;
+            for (const auto &in : g.inputs)
+                if (points_[in.point].failed) {
+                    failedDep = &points_[in.point];
+                    break;
+                }
+            if (failedDep) {
+                put("[melody] gather skipped: depends on failed "
+                    "point: " +
+                    failedDep->key + "\n");
+                break;
+            }
             std::vector<std::string> inputs;
             inputs.reserve(g.inputs.size());
             for (const auto &in : g.inputs)

@@ -43,12 +43,15 @@
 
 #include <cstdarg>
 #include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "sim/invariants.hh"
 
 namespace cxlsim::sweep {
 
@@ -115,12 +118,38 @@ struct Options
     std::string cacheDir = "results/.runcache";
     /** Cache salt; empty means kSweepSalt. */
     std::string salt;
+    /**
+     * Crash-isolated execution: fork one supervised worker
+     * subprocess per point (src/sim/supervisor.hh) instead of
+     * running points on the in-process thread pool. Byte-identical
+     * stdout on fault-free runs; on faults, surviving points still
+     * render and failures are reported in Report::failures.
+     */
+    bool isolate = false;
+    /**
+     * Skip points already journaled complete (implies isolate;
+     * requires journalPath). See src/sim/journal.hh.
+     */
+    bool resume = false;
+    /** Attempts per point under isolation, >= 1 (1 = no retry). */
+    unsigned maxAttempts = 2;
+    /** Per-attempt wall-clock watchdog in ms; 0 disables it. */
+    unsigned timeoutMs = 0;
+    /** Journal path for isolated runs; empty disables journaling. */
+    std::string journalPath;
+    /**
+     * Install the runtime invariant checker (sim::Invariants)
+     * around every point. Default-on in Debug builds.
+     */
+    bool checkInvariants = sim::invariantsDefaultOn();
 };
 
 /**
  * Options with MELODY_SWEEP_JOBS / MELODY_SWEEP_CACHE (0|1) /
- * MELODY_SWEEP_CACHE_DIR applied over the defaults — how the
- * standalone bench binaries pick up configuration without flags.
+ * MELODY_SWEEP_CACHE_DIR / MELODY_SWEEP_ISOLATE (0|1) /
+ * MELODY_SWEEP_CHECK_INVARIANTS (0|1) applied over the defaults —
+ * how the standalone bench binaries pick up configuration without
+ * flags.
  */
 Options optionsFromEnv();
 
@@ -143,10 +172,45 @@ class Sweep
 
     struct Report
     {
+        /** A point that exhausted its isolated attempt budget. */
+        struct PointFailure
+        {
+            std::size_t point = 0;
+            std::string key;
+            unsigned attempts = 0;
+            /** Structured cause ("SIGSEGV", "watchdog-timeout",
+             *  "exit-code N", "exception: ...", ...). */
+            std::string cause;
+        };
+
+        /** One invariant violation attributed to a point. */
+        struct InvariantDiag
+        {
+            std::string pointKey;
+            std::string invariant;
+            std::string where;
+            std::string values;
+        };
+
         std::size_t points = 0;
         std::size_t cacheHits = 0;
         std::size_t cacheStores = 0;
         std::size_t corruptEntries = 0;
+        /** Points skipped via the journal (resume mode). */
+        std::size_t resumedPoints = 0;
+        /** Isolated attempts beyond each point's first. */
+        std::uint64_t retries = 0;
+        /** Points that failed permanently, by point index. */
+        std::vector<PointFailure> failures;
+        /** Invariant violations, grouped by point in index order. */
+        std::vector<InvariantDiag> invariantDiags;
+
+        /** No failed points and no invariant violations. */
+        bool
+        clean() const
+        {
+            return failures.empty() && invariantDiags.empty();
+        }
     };
 
     explicit Sweep(std::string name, Options opts = Options());
@@ -208,6 +272,14 @@ class Sweep
     struct Gather;
 
     void compute(Report *report);
+    void computeInProcess(const std::vector<std::size_t> &pending,
+                          Report *report);
+    void computeIsolated(
+        const std::vector<std::size_t> &pending,
+        const std::string &salt,
+        const std::function<std::string(const std::string &)>
+            &hashOf,
+        Report *report);
     void render(std::FILE *out, std::string *str);
 
     std::string name_;

@@ -106,6 +106,37 @@ TEST(FaultPlanParser, RejectsMalformedSpecs)
     EXPECT_THROW(ras::parseFaultPlan("offline@oops"), ConfigError);
 }
 
+TEST(FaultPlanParser, RejectsOversizedSpecs)
+{
+    // One byte under the limit parses (all padding commas are
+    // empty tokens); one byte over throws.
+    std::string spec = "crc=1e-4";
+    spec.resize(ras::kFaultPlanMaxSpecBytes, ',');
+    EXPECT_NO_THROW(ras::parseFaultPlan(spec));
+    spec.push_back(',');
+    EXPECT_THROW(ras::parseFaultPlan(spec), ConfigError);
+}
+
+TEST(FaultPlanParser, RejectsOversizedTokens)
+{
+    const std::string pad(ras::kFaultPlanMaxTokenBytes, '0');
+    // "crc=0...0" exceeds the token limit by the "crc=" prefix.
+    EXPECT_THROW(ras::parseFaultPlan("crc=" + pad), ConfigError);
+    // At exactly the limit the token must still parse.
+    const std::string fit(ras::kFaultPlanMaxTokenBytes - 6, '0');
+    EXPECT_NO_THROW(ras::parseFaultPlan("crc=0." + fit));
+}
+
+TEST(FaultPlanParser, RejectsTooManyScheduledEvents)
+{
+    std::string spec;
+    for (std::size_t i = 0; i < ras::kFaultPlanMaxEvents; ++i)
+        spec += "offline@1ms:dev0,";
+    EXPECT_NO_THROW(ras::parseFaultPlan(spec));
+    spec += "offline@2ms:dev0";
+    EXPECT_THROW(ras::parseFaultPlan(spec), ConfigError);
+}
+
 TEST(Validation, FaultParamBoundsAreChecked)
 {
     ras::LinkFaultParams link;

@@ -8,13 +8,18 @@
  *   melody slowdown <wl> <srv> <mem>    slowdown + Spa breakdown
  *   melody sweep <wl>                   one workload across setups
  *   melody sweep [opts] <fig...>|all    figure suite via the sweep
- *                                       engine (parallel + cached)
+ *                                       engine (parallel + cached);
+ *                                       --isolate forks crash-
+ *                                       isolated workers, --resume
+ *                                       continues a killed run
+ *   melody cache stats|clear            inspect/purge the run cache
  *   melody period <wl> <mem> [N]        period-based breakdown
  *   melody advise <wl> <mem>            §5.7 tiering advice
  *   melody batch <srv> <mem> [stride]   whole-suite slowdowns, CSV
  *   melody ras <wl> <srv> <mem> [plan]  fault-injection run, JSON
  */
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +34,7 @@
 #include "core/slowdown.hh"
 #include "ras/fault_plan.hh"
 #include "sim/logging.hh"
+#include "sim/run_cache.hh"
 #include "sim/sweep.hh"
 #include "spa/advisor.hh"
 #include "spa/breakdown.hh"
@@ -52,9 +58,12 @@ usage()
         "  melody characterize <server> <memory>\n"
         "  melody slowdown <workload> <server> <memory>\n"
         "  melody sweep <workload>\n"
-        "  melody sweep [--jobs N] [--no-cache] [--cache-dir D] "
-        "<figure...>|all\n"
+        "  melody sweep [--jobs N] [--no-cache] [--cache-dir D]\n"
+        "               [--isolate] [--resume] [--retries N]\n"
+        "               [--timeout-ms N] [--journal F]\n"
+        "               [--check-invariants] <figure...>|all\n"
         "  melody sweep --list\n"
+        "  melody cache stats|clear [--cache-dir D]\n"
         "  melody period <workload> <memory> [periods]\n"
         "  melody advise <workload> <memory>\n"
         "  melody batch <server> <memory> [stride]\n"
@@ -209,6 +218,27 @@ cmdSweepFigures(const std::vector<std::string> &args)
             if (i + 1 == args.size())
                 throw ConfigError("--cache-dir needs a value");
             opts.cacheDir = args[++i];
+        } else if (a == "--isolate") {
+            opts.isolate = true;
+        } else if (a == "--resume") {
+            opts.resume = true;
+        } else if (a == "--retries") {
+            if (i + 1 == args.size())
+                throw ConfigError("--retries needs a value");
+            opts.maxAttempts =
+                parseUnsignedArg(args[++i].c_str(), "--retries") +
+                1;
+        } else if (a == "--timeout-ms") {
+            if (i + 1 == args.size())
+                throw ConfigError("--timeout-ms needs a value");
+            opts.timeoutMs = parseUnsignedArg(args[++i].c_str(),
+                                              "--timeout-ms");
+        } else if (a == "--journal") {
+            if (i + 1 == args.size())
+                throw ConfigError("--journal needs a value");
+            opts.journalPath = args[++i];
+        } else if (a == "--check-invariants") {
+            opts.checkInvariants = true;
         } else if (a == "all") {
             for (const auto &f : figs::all())
                 picked.push_back(&f);
@@ -223,6 +253,10 @@ cmdSweepFigures(const std::vector<std::string> &args)
     if (picked.empty())
         throw ConfigError("no figures selected "
                           "(melody sweep --list)");
+    // Isolated (and therefore resumable) runs journal by default
+    // so a killed run can always be picked back up.
+    if ((opts.isolate || opts.resume) && opts.journalPath.empty())
+        opts.journalPath = "results/sweep-journal.jsonl";
 
     // One engine run for the whole selection; each figure keeps its
     // own cache scope so entries are shared with the standalone
@@ -238,6 +272,89 @@ cmdSweepFigures(const std::vector<std::string> &args)
                  "%zu cache hit(s), %zu store(s), %zu corrupt\n",
                  picked.size(), rep.points, rep.cacheHits,
                  rep.cacheStores, rep.corruptEntries);
+    if (rep.resumedPoints || rep.retries)
+        std::fprintf(
+            stderr,
+            "melody sweep: %zu point(s) resumed from journal, "
+            "%llu retry(ies)\n",
+            rep.resumedPoints,
+            static_cast<unsigned long long>(rep.retries));
+    // Degraded-run reporting: surviving figures already rendered
+    // above; summarize what was lost and exit nonzero so scripts
+    // notice.
+    if (!rep.failures.empty()) {
+        std::fprintf(stderr,
+                     "melody sweep: %zu point(s) FAILED:\n",
+                     rep.failures.size());
+        std::fprintf(stderr, "  %-6s %-10s %s\n", "point",
+                     "attempts", "key (cause)");
+        for (const auto &f : rep.failures)
+            std::fprintf(stderr, "  %-6zu %-10u %s (%s)\n",
+                         f.point, f.attempts, f.key.c_str(),
+                         f.cause.c_str());
+    }
+    if (!rep.invariantDiags.empty()) {
+        std::fprintf(stderr,
+                     "melody sweep: %zu invariant violation(s):\n",
+                     rep.invariantDiags.size());
+        for (const auto &d : rep.invariantDiags)
+            std::fprintf(stderr, "  %s at %s: %s [point %s]\n",
+                         d.invariant.c_str(), d.where.c_str(),
+                         d.values.c_str(), d.pointKey.c_str());
+    }
+    return rep.clean() ? 0 : 1;
+}
+
+int
+cmdCache(const std::vector<std::string> &args)
+{
+    std::string dir = "results/.runcache";
+    std::string action;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        if (a == "--cache-dir") {
+            if (i + 1 == args.size())
+                throw ConfigError("--cache-dir needs a value");
+            dir = args[++i];
+        } else if (a == "stats" || a == "clear") {
+            if (!action.empty())
+                throw ConfigError(
+                    "cache takes one action, got '" + action +
+                    "' and '" + a + "'");
+            action = a;
+        } else {
+            throw ConfigError("unknown cache argument '" + a +
+                              "' (stats|clear [--cache-dir D])");
+        }
+    }
+    if (action.empty())
+        throw ConfigError(
+            "cache needs an action: stats|clear [--cache-dir D]");
+
+    if (action == "clear") {
+        const std::uint64_t removed = sweep::RunCache::clearDir(dir);
+        std::printf("removed %llu file(s) from %s\n",
+                    static_cast<unsigned long long>(removed),
+                    dir.c_str());
+        return 0;
+    }
+    const sweep::RunCache::DirStats ds =
+        sweep::RunCache::scanDir(dir);
+    std::printf("cache %s: %llu entr%s, %.1f MB",
+                dir.c_str(),
+                static_cast<unsigned long long>(ds.entries),
+                ds.entries == 1 ? "y" : "ies",
+                static_cast<double>(ds.bytes) / 1e6);
+    if (ds.foreign)
+        std::printf(", %llu foreign file(s)",
+                    static_cast<unsigned long long>(ds.foreign));
+    std::printf("\n");
+    for (const auto &[salt, n] : ds.perSalt)
+        std::printf("  salt %-24s %llu entr%s%s\n", salt.c_str(),
+                    static_cast<unsigned long long>(n),
+                    n == 1 ? "y" : "ies",
+                    salt == sweep::kSweepSalt ? " (current)"
+                                              : " (stale)");
     return 0;
 }
 
@@ -384,6 +501,9 @@ dispatch(int argc, char **argv)
         return cmdSlowdown(argv[2], argv[3], argv[4]);
     if (cmd == "sweep" && sweepWantsFigures(argc, argv))
         return cmdSweepFigures(
+            std::vector<std::string>(argv + 2, argv + argc));
+    if (cmd == "cache")
+        return cmdCache(
             std::vector<std::string>(argv + 2, argv + argc));
     if (cmd == "sweep" && argc == 3)
         return cmdSweep(argv[2]);
