@@ -1,5 +1,6 @@
 #include "invariants.hh"
 
+#include <mutex>
 #include <utility>
 
 namespace cxlsim::sim {
@@ -10,12 +11,26 @@ namespace {
  *  installation must be thread-scoped, not global. */
 thread_local Invariants *tlsInvariants = nullptr;
 
+std::mutex &
+recordMutex()
+{
+    // Intra-run parallelism (sim/partition.hh) installs ONE
+    // collector on every gang thread, so recording must be
+    // serialized. A single process-wide mutex is fine: record()
+    // only runs on actual violations (cold path), and readers
+    // (failed()/violations()) run after the gang has joined.
+    // lint:allow(det-static-local)
+    static std::mutex mu;
+    return mu;
+}
+
 }  // namespace
 
 void
 Invariants::record(std::string invariant, std::string where,
                    std::string values)
 {
+    std::lock_guard<std::mutex> lk(recordMutex());
     if (violations_.size() >= kMaxRecorded) {
         ++dropped_;
         return;

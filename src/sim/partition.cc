@@ -1,0 +1,305 @@
+#include "partition.hh"
+
+#include <chrono>
+#include <thread>
+
+#include "sim/invariants.hh"
+#include "sim/logging.hh"
+#include "stats/json.hh"
+
+namespace cxlsim::pdes {
+
+namespace {
+
+/** The intra-run thread budget. Relaxed atomics suffice: the knob
+ *  is set once at CLI/bench startup, and every value produces
+ *  bit-identical simulation output, so a racy read could only pick
+ *  between equally-correct engines. */
+std::atomic<unsigned> g_simThreads{1};
+
+std::uint64_t
+hostNowNs()
+{
+    // Host-side diagnostics only (wait-time counters); simulated
+    // time never derives from this.
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+constexpr Tick kFrontierDone = ~Tick{0};
+constexpr int kSpinBudget = 256;
+
+}  // namespace
+
+unsigned
+simThreads()
+{
+    return g_simThreads.load(std::memory_order_relaxed);
+}
+
+void
+setSimThreads(unsigned n)
+{
+    if (n == 0) {
+        n = std::thread::hardware_concurrency();
+        if (n == 0)
+            n = 1;
+    }
+    g_simThreads.store(n, std::memory_order_relaxed);
+}
+
+// -----------------------------------------------------------------
+// FrontierGate
+// -----------------------------------------------------------------
+
+FrontierGate::FrontierGate(unsigned partitions, unsigned tokens)
+    : slots_(partitions),
+      tokenCap_(tokens >= partitions ? -1 : static_cast<int>(tokens)),
+      tokens_(tokenCap_ < 0 ? 0 : std::max(1, tokenCap_))
+{
+    SIM_ASSERT(partitions > 0, "FrontierGate needs a partition");
+}
+
+bool
+FrontierGate::grantCondition(unsigned p, Tick key) const
+{
+    // Serial block order is lexicographic (blockStart, coreIdx):
+    // lower-indexed partitions must be strictly past this key,
+    // higher-indexed ones at-or-past it. Acquire pairs with the
+    // release publish in beginBlock()/finish(), so shared-state
+    // writes made under an earlier grant are visible here.
+    for (unsigned j = 0; j < slots_.size(); ++j) {
+        if (j == p)
+            continue;
+        const Tick f =
+            slots_[j].frontier.load(std::memory_order_acquire);
+        if (j < p ? f <= key : f < key)
+            return false;
+    }
+    return true;
+}
+
+void
+FrontierGate::beginBlock(unsigned p, Tick key)
+{
+    Slot &s = slots_[p];
+    if (sim::Invariants *inv = sim::currentInvariants())
+        if (key < s.frontier.load(std::memory_order_relaxed) &&
+            s.frontier.load(std::memory_order_relaxed) !=
+                kFrontierDone)
+            inv->record("pdes/epoch-monotonic",
+                        "partition " + std::to_string(p),
+                        "key=" + std::to_string(key) + " frontier=" +
+                            std::to_string(s.frontier.load(
+                                std::memory_order_relaxed)));
+    s.granted = false;
+    ++s.stats.blocks;
+    // Release: everything this partition wrote under its previous
+    // grant happens-before any observer of the new frontier.
+    s.frontier.store(key, std::memory_order_release);
+    wake();
+    if (tokenCap_ >= 0)
+        acquireToken(p);
+}
+
+void
+FrontierGate::endBlock(unsigned p)
+{
+    (void)p;
+    if (tokenCap_ >= 0)
+        releaseToken();
+}
+
+void
+FrontierGate::finish(unsigned p)
+{
+    slots_[p].granted = false;
+    slots_[p].frontier.store(kFrontierDone,
+                             std::memory_order_release);
+    wake();
+}
+
+void
+FrontierGate::enterShared(unsigned p)
+{
+    Slot &s = slots_[p];
+    ++s.stats.sharedGrants;
+    if (s.granted)
+        return;
+    const Tick key = s.frontier.load(std::memory_order_relaxed);
+    if (grantCondition(p, key)) {
+        s.granted = true;
+        return;
+    }
+
+    ++s.stats.sharedWaits;
+    const std::uint64_t t0 = hostNowNs();
+    // While waiting this partition cannot execute, so hand its
+    // token back — the globally minimal partition must always be
+    // able to run, or the gate would deadlock under a token cap.
+    if (tokenCap_ >= 0)
+        releaseToken();
+    for (int spin = 0; !grantCondition(p, key); ++spin) {
+        if (spin < kSpinBudget) {
+            std::this_thread::yield();
+            continue;
+        }
+        park([&] { return grantCondition(p, key); });
+        break;
+    }
+    // The condition is monotonic (frontiers only grow), so the
+    // grant survives the token re-acquisition below.
+    if (tokenCap_ >= 0)
+        acquireToken(p);
+    s.stats.waitNs += hostNowNs() - t0;
+    s.granted = true;
+}
+
+bool
+FrontierGate::tryAcquireToken()
+{
+    int v = tokens_.load(std::memory_order_relaxed);
+    while (v > 0) {
+        if (tokens_.compare_exchange_weak(
+                v, v - 1, std::memory_order_acquire,
+                std::memory_order_relaxed))
+            return true;
+    }
+    return false;
+}
+
+void
+FrontierGate::acquireToken(unsigned p)
+{
+    for (int spin = 0; !tryAcquireToken(); ++spin) {
+        if (spin < kSpinBudget) {
+            std::this_thread::yield();
+            continue;
+        }
+        const std::uint64_t t0 = hostNowNs();
+        park([&] { return tryAcquireToken(); });
+        slots_[p].stats.waitNs += hostNowNs() - t0;
+        return;
+    }
+}
+
+void
+FrontierGate::releaseToken()
+{
+    tokens_.fetch_add(1, std::memory_order_release);
+    wake();
+}
+
+template <typename Pred>
+void
+FrontierGate::park(Pred pred)
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    sleepers_.fetch_add(1, std::memory_order_relaxed);
+    // Timed wait: wake()'s sleeper check is deliberately unfenced
+    // (publishes are the hot path), so a notify can theoretically
+    // be missed in the registration window; the 1ms re-check bounds
+    // that race to a stall instead of a hang.
+    while (!pred())
+        cv_.wait_for(lk, std::chrono::milliseconds(1), pred);
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+FrontierGate::wake()
+{
+    if (sleepers_.load(std::memory_order_relaxed) == 0)
+        return;
+    // The lock pairs with park()'s wait to close the race between
+    // a sleeper's predicate check and its actual wait.
+    std::lock_guard<std::mutex> lk(mu_);
+    cv_.notify_all();
+}
+
+// -----------------------------------------------------------------
+// StatsRegistry
+// -----------------------------------------------------------------
+
+StatsRegistry &
+StatsRegistry::instance()
+{
+    // Process-wide diagnostics accumulator: owns no simulation
+    // state and never feeds figure output.
+    // lint:allow(det-static-local)
+    static StatsRegistry reg;
+    return reg;
+}
+
+void
+StatsRegistry::clear()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    byName_.clear();
+}
+
+void
+StatsRegistry::add(const std::string &name, const Entry &e)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    Entry &acc = byName_[name];
+    acc.runs += e.runs;
+    acc.eventsDrained += e.eventsDrained;
+    acc.sharedGrants += e.sharedGrants;
+    acc.sharedWaits += e.sharedWaits;
+    acc.waitNs += e.waitNs;
+    acc.messagesSent += e.messagesSent;
+    acc.messagesReceived += e.messagesReceived;
+    acc.epochs += e.epochs;
+}
+
+void
+StatsRegistry::addGate(const FrontierGate &gate)
+{
+    for (unsigned p = 0; p < gate.partitions(); ++p) {
+        const FrontierGate::Stats &s = gate.stats(p);
+        Entry e;
+        e.runs = 1;
+        e.eventsDrained = s.blocks;
+        e.sharedGrants = s.sharedGrants;
+        e.sharedWaits = s.sharedWaits;
+        e.waitNs = s.waitNs;
+        add("core" + std::to_string(p), e);
+    }
+}
+
+bool
+StatsRegistry::empty() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return byName_.empty();
+}
+
+std::string
+StatsRegistry::json() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    stats::JsonWriter w;
+    w.beginObject().key("pdes").beginObject();
+    w.field("simThreads", simThreads());
+    w.key("partitions").beginArray();
+    for (const auto &kv : byName_) {
+        const Entry &e = kv.second;
+        w.beginObject()
+            .field("partition", kv.first)
+            .field("runs", e.runs)
+            .field("eventsDrained", e.eventsDrained)
+            .field("sharedGrants", e.sharedGrants)
+            .field("sharedWaits", e.sharedWaits)
+            .field("barrierWaitNs", e.waitNs)
+            .field("messagesSent", e.messagesSent)
+            .field("messagesReceived", e.messagesReceived)
+            .field("epochs", e.epochs)
+            .endObject();
+    }
+    w.endArray().endObject().endObject();
+    return w.str();
+}
+
+}  // namespace cxlsim::pdes

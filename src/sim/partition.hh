@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Conservative partition scheduling for intra-run parallelism
+ * (DESIGN.md §11).
+ *
+ * Two pieces live here:
+ *
+ *  - The process-wide `--sim-threads` knob. Intra-run parallelism
+ *    is output-invariant by construction (any thread count,
+ *    including 1, produces bit-identical results), so a global
+ *    setting cannot change what a simulation computes — only how
+ *    fast. It is distinct from sweep `--jobs`, which parallelizes
+ *    ACROSS independent points; the two compose (jobs × sim-threads
+ *    is the total worker budget).
+ *
+ *  - FrontierGate: the conservative scheduler that parallelizes one
+ *    MultiCore run. Each core is a logical process advancing its own
+ *    clock; cores interact ONLY through the shared LLC + memory
+ *    backend. The serial engine executes blocks in lexicographic
+ *    (blockStart, coreIdx) order, so that order *is* the output
+ *    contract. Each core publishes its current block key as an
+ *    atomic frontier before stepping; before its first shared-state
+ *    touch in a block, a core waits until every lower-indexed core
+ *    has published a strictly later key and every higher-indexed
+ *    core an equal-or-later key. That grants shared access in
+ *    exactly the serial order — at most one core holds a grant at
+ *    any instant (two simultaneous grants would each require the
+ *    other's frontier to be strictly ahead) — while private-state
+ *    work (L1/L2 hits, core math) overlaps freely across threads.
+ *
+ *    Deadlock-freedom: frontiers are nondecreasing per core and the
+ *    core holding the globally minimal (key, idx) always satisfies
+ *    its wait condition. The grant condition is monotonic (other
+ *    frontiers only grow), so a passed check can never be
+ *    invalidated.
+ *
+ *    A token budget caps how many cores *execute* concurrently when
+ *    sim-threads is below the core count. A core waiting for its
+ *    grant releases its token first, so the globally minimal core
+ *    can always acquire one — the budget throttles CPU use, never
+ *    ordering.
+ *
+ * Per-partition utilization counters (blocks drained, shared-section
+ * grants, wait time) feed the StatsRegistry behind
+ * `melody sweep --pdes-stats` so partitioning changes stay
+ * measurable.
+ */
+
+#ifndef CXLSIM_SIM_PARTITION_HH
+#define CXLSIM_SIM_PARTITION_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cxlsim::pdes {
+
+/**
+ * Intra-run thread budget for one simulation (cores per MultiCore
+ * run, partitions per pdes::Engine::run). 1 = serial (default).
+ */
+unsigned simThreads();
+
+/** Set the budget; 0 selects hardware concurrency. */
+void setSimThreads(unsigned n);
+
+/** Conservative (blockStart, coreIdx)-ordered scheduler. */
+class FrontierGate
+{
+  public:
+    /** Per-partition utilization/imbalance counters. */
+    struct Stats
+    {
+        /** Blocks (events) drained by this partition. */
+        std::uint64_t blocks = 0;
+        /** enterShared() calls (shared-section grants). */
+        std::uint64_t sharedGrants = 0;
+        /** Grants that had to wait for another partition. */
+        std::uint64_t sharedWaits = 0;
+        /** Host nanoseconds spent waiting (grant + token). */
+        std::uint64_t waitNs = 0;
+    };
+
+    /**
+     * @param partitions Number of logical processes (cores).
+     * @param tokens     Concurrent-execution budget; values >=
+     *                   @p partitions disable throttling.
+     */
+    FrontierGate(unsigned partitions, unsigned tokens);
+
+    /**
+     * Announce partition @p p's next block starting at @p key.
+     * Clears any shared-access grant and (when throttled) acquires
+     * an execution token. Keys must be nondecreasing per partition.
+     */
+    void beginBlock(unsigned p, Tick key);
+
+    /** Block finished: release the execution token. */
+    void endBlock(unsigned p);
+
+    /** Partition @p p is done; its frontier becomes +infinity. */
+    void finish(unsigned p);
+
+    /**
+     * Wait until partition @p p's current block is the earliest
+     * unfinished block in serial (key, idx) order, then grant it
+     * shared-state access for the remainder of the block. No-op if
+     * the grant is already held.
+     */
+    void enterShared(unsigned p);
+
+    const Stats &stats(unsigned p) const { return slots_[p].stats; }
+    unsigned partitions() const
+    {
+        return static_cast<unsigned>(slots_.size());
+    }
+
+  private:
+    struct alignas(64) Slot
+    {
+        std::atomic<Tick> frontier{0};
+        /** Shared-access grant for the current block; only the
+         *  owning partition's thread reads/writes it. */
+        bool granted = false;
+        Stats stats;
+    };
+
+    bool grantCondition(unsigned p, Tick key) const;
+    bool tryAcquireToken();
+    void acquireToken(unsigned p);
+    void releaseToken();
+    /** Park until @p pred (notified by publishes/releases). */
+    template <typename Pred> void park(Pred pred);
+    void wake();
+
+    std::vector<Slot> slots_;
+    /** Execution-token budget; < 0 means throttling disabled. */
+    const int tokenCap_;
+    std::atomic<int> tokens_;
+    std::atomic<unsigned> sleepers_{0};
+    std::mutex mu_;
+    std::condition_variable cv_;
+};
+
+/**
+ * Process-wide accumulator for PDES utilization counters, keyed by
+ * partition name (ordered map: JSON output is deterministic).
+ * Cleared and dumped by `melody sweep --pdes-stats`; wait times are
+ * host measurements and never feed simulation output.
+ */
+class StatsRegistry
+{
+  public:
+    static StatsRegistry &instance();
+
+    struct Entry
+    {
+        std::uint64_t runs = 0;
+        std::uint64_t eventsDrained = 0;
+        std::uint64_t sharedGrants = 0;
+        std::uint64_t sharedWaits = 0;
+        std::uint64_t waitNs = 0;
+        std::uint64_t messagesSent = 0;
+        std::uint64_t messagesReceived = 0;
+        std::uint64_t epochs = 0;
+    };
+
+    void clear();
+    /** Accumulate one partition's counters under @p name. */
+    void add(const std::string &name, const Entry &e);
+    /** Accumulate every partition of a finished gate run. */
+    void addGate(const FrontierGate &gate);
+
+    bool empty() const;
+
+    /**
+     * rasReport-style JSON: {"pdes": {"partitions": [{"partition":
+     * ..., "runs": ..., "eventsDrained": ..., ...}, ...]}}.
+     */
+    std::string json() const;
+
+  private:
+    StatsRegistry() = default;
+
+    mutable std::mutex mu_;
+    std::map<std::string, Entry> byName_;
+};
+
+}  // namespace cxlsim::pdes
+
+#endif  // CXLSIM_SIM_PARTITION_HH

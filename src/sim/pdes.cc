@@ -1,0 +1,191 @@
+#include "pdes.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "sim/invariants.hh"
+#include "sim/logging.hh"
+#include "sim/parallel.hh"
+
+namespace cxlsim::pdes {
+
+namespace {
+
+std::uint64_t
+hostNowNs()
+{
+    // Imbalance diagnostics only; simulated time never reads this.
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+}  // namespace
+
+Engine::Engine(Tick lookahead) : lookahead_(lookahead) {}
+
+Engine::~Engine()
+{
+    for (Partition *p : parts_)
+        delete p;
+}
+
+Partition *
+Engine::addPartition(std::string name)
+{
+    SIM_ASSERT(epochs_ == 0 && now_ == 0,
+               "partitions must be added before run()");
+    auto *p = new Partition(static_cast<std::uint32_t>(parts_.size()),
+                            std::move(name));
+    parts_.push_back(p);
+    mailboxes_.clear();
+    mailboxes_.resize(parts_.size() * parts_.size());
+    stats_.resize(parts_.size());
+    drainNs_.resize(parts_.size());
+    return p;
+}
+
+void
+Engine::send(Partition &from, Partition &to, Tick when,
+             EventQueue::Handler fn)
+{
+    const Tick horizon = from.now() + lookahead_;
+    if (when < horizon) {
+        // A message below the lookahead horizon could land inside
+        // an epoch another thread is draining; clamp to the horizon
+        // (unconditionally — behavior must not depend on whether a
+        // collector is installed) and report.
+        if (sim::Invariants *inv = sim::currentInvariants())
+            inv->record("pdes/lookahead-horizon",
+                        from.name() + "->" + to.name(),
+                        "when=" + std::to_string(when) +
+                            " horizon=" + std::to_string(horizon));
+        when = horizon;
+    }
+    mailbox(from.id(), to.id()).push_back({when, std::move(fn)});
+    ++stats_[from.id()].messagesSent;
+}
+
+void
+Engine::drainEpoch(std::size_t i, Tick epoch_end)
+{
+    const std::uint64_t t0 = hostNowNs();
+    Partition &p = *parts_[i];
+    const std::uint64_t before = p.q_.executed();
+    p.q_.runUntil(epoch_end);
+    const std::uint64_t ran = p.q_.executed() - before;
+    stats_[i].eventsDrained += ran;
+    if (ran)
+        ++stats_[i].epochs;
+    drainNs_[i] = hostNowNs() - t0;
+}
+
+void
+Engine::run(unsigned threads)
+{
+    if (threads == 0)
+        threads = simThreads();
+    threads = std::max(
+        1u, std::min<unsigned>(
+                threads, static_cast<unsigned>(parts_.size())));
+    sim::Invariants *inv = sim::currentInvariants();
+
+    for (;;) {
+        // Barrier half A: deliver cross-partition messages buffered
+        // during the previous epoch (or queued before run()) in
+        // fixed (dst, src) order on this thread. Per-destination
+        // insertion sequence — the same-tick tie-breaker — is
+        // therefore schedule-invariant.
+        for (std::size_t dst = 0; dst < parts_.size(); ++dst) {
+            EventQueue &q = parts_[dst]->q_;
+            for (std::size_t src = 0; src < parts_.size(); ++src) {
+                std::vector<Message> &box =
+                    mailbox(static_cast<std::uint32_t>(src),
+                            static_cast<std::uint32_t>(dst));
+                for (Message &m : box) {
+                    q.schedule(m.when, std::move(m.fn));
+                    ++stats_[dst].messagesReceived;
+                }
+                box.clear();
+            }
+        }
+
+        // Global next event time across all partitions.
+        bool any = false;
+        Tick next = 0;
+        for (Partition *p : parts_) {
+            if (p->q_.empty())
+                continue;
+            if (!any || p->q_.nextTick() < next)
+                next = p->q_.nextTick();
+            any = true;
+        }
+        if (!any)
+            break;
+
+        // Saturating epoch window; every event at `next` runs this
+        // epoch, so progress is guaranteed even with lookahead 0.
+        Tick epochEnd = next + lookahead_;
+        if (epochEnd < next)
+            epochEnd = ~Tick{0};
+        if (inv && epochEnd < now_)
+            inv->record("pdes/epoch-monotonic", "Engine",
+                        "epochEnd=" + std::to_string(epochEnd) +
+                            " now=" + std::to_string(now_));
+
+        // Drain partitions independently (the parallel section).
+        // The collector is re-installed on each worker so handler
+        // invariant hooks behave identically at any thread count.
+        if (threads == 1) {
+            for (std::size_t i = 0; i < parts_.size(); ++i)
+                drainEpoch(i, epochEnd);
+        } else {
+            parallelFor(
+                parts_.size(),
+                [&](std::size_t i) {
+                    sim::InvariantScope scope(inv);
+                    drainEpoch(i, epochEnd);
+                },
+                threads);
+        }
+
+        // Barrier half B: imbalance accounting — a partition
+        // "waited at the barrier"
+        // for the slowest drain of this epoch.
+        std::uint64_t slowest = 0;
+        for (std::size_t i = 0; i < parts_.size(); ++i)
+            slowest = std::max(slowest, drainNs_[i]);
+        for (std::size_t i = 0; i < parts_.size(); ++i)
+            stats_[i].waitNs += slowest - drainNs_[i];
+
+        now_ = epochEnd;
+        ++epochs_;
+    }
+
+    // Conservation: every message sent through a mailbox must have
+    // been delivered by a barrier (mailboxes drain every epoch).
+    std::uint64_t sent = 0, received = 0;
+    for (const StatsRegistry::Entry &e : stats_) {
+        sent += e.messagesSent;
+        received += e.messagesReceived;
+    }
+    if (inv && sent != received)
+        inv->record("pdes/mailbox-conservation", "Engine",
+                    "sent=" + std::to_string(sent) + " received=" +
+                        std::to_string(received));
+}
+
+void
+Engine::publishStats() const
+{
+    StatsRegistry &reg = StatsRegistry::instance();
+    for (std::size_t i = 0; i < parts_.size(); ++i) {
+        StatsRegistry::Entry e = stats_[i];
+        e.runs = 1;
+        reg.add(parts_[i]->name(), e);
+    }
+}
+
+}  // namespace cxlsim::pdes

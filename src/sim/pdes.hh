@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Conservative barrier-synchronous PDES engine (DESIGN.md §11).
+ *
+ * The simulator's event-structured layers (device/controller/link
+ * topologies, and the cluster-scale pooling scenarios the ROADMAP
+ * targets) partition naturally into logical processes, each owning
+ * a partition-local EventQueue. The Engine advances them in epochs:
+ *
+ *   1. epoch window = [global next event, next + lookahead];
+ *   2. every partition drains its local events inside the window —
+ *      partitions are independent within an epoch, so this step
+ *      runs on up to sim-threads workers;
+ *   3. barrier: cross-partition messages, buffered during the
+ *      epoch in per-(src,dst) mailboxes, are delivered in fixed
+ *      (dst-major, src-minor) order; the global clock advances.
+ *
+ * Lookahead is the minimum cross-partition latency (extracted from
+ * the link/device profile, e.g. DeviceProfile::pdesLookahead()): a
+ * handler executing at local time t may only send an event at
+ * `t + lookahead` or later, which guarantees no message lands
+ * inside the epoch being drained — the classical conservative-
+ * synchronization correctness condition (Chandy/Misra/Bryant).
+ *
+ * Determinism: a partition's intra-epoch execution is sequential on
+ * one worker; each mailbox row is written only by its owning
+ * partition; the barrier drains mailboxes on one thread in a fixed
+ * order, so EventQueue insertion sequence numbers — the tie-breaker
+ * for same-tick events — are identical for every thread count,
+ * including 1. Runs are bit-identical regardless of sim-threads.
+ *
+ * Invariants (recorded via sim::Invariants, names stable):
+ *   pdes/epoch-monotonic       epoch end never decreases
+ *   pdes/lookahead-horizon     send below now + lookahead (clamped)
+ *   pdes/mailbox-conservation  every sent message delivered
+ */
+
+#ifndef CXLSIM_SIM_PDES_HH
+#define CXLSIM_SIM_PDES_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/partition.hh"
+#include "sim/types.hh"
+
+namespace cxlsim::pdes {
+
+class Engine;
+
+/**
+ * One logical process: a named, partition-local EventQueue.
+ * Handlers run on whichever worker drains the partition's epoch;
+ * they may freely touch their own partition's state and schedule
+ * local events at any tick >= now, but must reach OTHER partitions
+ * exclusively through Engine::send() (enforced by the
+ * det-pdes-shared-mutation lint rule).
+ */
+class Partition
+{
+  public:
+    const std::string &name() const { return name_; }
+    std::uint32_t id() const { return id_; }
+
+    /** Partition-local clock. */
+    Tick now() const { return q_.now(); }
+
+    /** Schedule a local event (same-partition, no lookahead). */
+    void schedule(Tick when, EventQueue::Handler fn)
+    {
+        q_.schedule(when, std::move(fn));
+    }
+
+    void scheduleAfter(Tick delta, EventQueue::Handler fn)
+    {
+        q_.scheduleAfter(delta, std::move(fn));
+    }
+
+    /** Events executed over the partition's lifetime. */
+    std::uint64_t executed() const { return q_.executed(); }
+
+    bool empty() const { return q_.empty(); }
+
+  private:
+    friend class Engine;
+
+    Partition(std::uint32_t id, std::string name)
+        : id_(id), name_(std::move(name))
+    {
+    }
+
+    std::uint32_t id_;
+    std::string name_;
+    EventQueue q_;
+};
+
+/**
+ * Barrier-synchronous conservative scheduler over Partitions.
+ * Not reentrant: one run() at a time per Engine instance.
+ */
+class Engine
+{
+  public:
+    /**
+     * @param lookahead Minimum cross-partition event latency in
+     *                  ticks. Larger lookahead = fewer barriers;
+     *                  0 degenerates to one global-min event per
+     *                  epoch (correct, but serial in practice).
+     */
+    explicit Engine(Tick lookahead);
+    ~Engine();
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /** Create a partition; pointers remain valid for the Engine's
+     *  lifetime. Call before run(). */
+    Partition *addPartition(std::string name);
+
+    /**
+     * Send a cross-partition event: @p fn executes in @p to at
+     * tick @p when, which must be >= from.now() + lookahead().
+     * Earlier targets record pdes/lookahead-horizon and clamp.
+     * Only @p from's handler thread may call this (mailbox rows
+     * are single-writer), mirroring hardware: messages ride links
+     * whose latency is at least the lookahead.
+     */
+    void send(Partition &from, Partition &to, Tick when,
+              EventQueue::Handler fn);
+
+    /**
+     * Run epochs until every queue and mailbox drains.
+     * @param threads intra-run workers; 0 = pdes::simThreads().
+     *                Output is bit-identical for every value.
+     */
+    void run(unsigned threads = 0);
+
+    /** Global epoch clock (end of the last completed epoch). */
+    Tick now() const { return now_; }
+
+    Tick lookahead() const { return lookahead_; }
+    std::uint64_t epochs() const { return epochs_; }
+
+    std::size_t partitionCount() const { return parts_.size(); }
+    Partition &partition(std::size_t i) { return *parts_[i]; }
+
+    /** Per-partition utilization counters (index = partition id). */
+    const StatsRegistry::Entry &stats(std::size_t i) const
+    {
+        return stats_[i];
+    }
+
+    /** Accumulate this engine's counters into the global registry
+     *  (one entry per partition name). */
+    void publishStats() const;
+
+  private:
+    struct Message
+    {
+        Tick when;
+        EventQueue::Handler fn;
+    };
+
+    /** Drain one partition's window; called once per epoch per
+     *  partition, possibly on a worker thread. */
+    void drainEpoch(std::size_t i, Tick epoch_end);
+
+    std::vector<Message> &mailbox(std::uint32_t src,
+                                  std::uint32_t dst)
+    {
+        return mailboxes_[static_cast<std::size_t>(src) *
+                              parts_.size() +
+                          dst];
+    }
+
+    const Tick lookahead_;
+    Tick now_ = 0;
+    std::uint64_t epochs_ = 0;
+    std::uint64_t sent_ = 0;
+    std::uint64_t delivered_ = 0;
+    std::vector<Partition *> parts_;
+    /** Row-per-source mailbox matrix; row src is written only by
+     *  the worker draining partition src during an epoch and read
+     *  only at the barrier. */
+    std::vector<std::vector<Message>> mailboxes_;
+    std::vector<StatsRegistry::Entry> stats_;
+    /** Scratch: per-partition drain wall time for the current
+     *  epoch (imbalance accounting). */
+    std::vector<std::uint64_t> drainNs_;
+};
+
+}  // namespace cxlsim::pdes
+
+#endif  // CXLSIM_SIM_PDES_HH

@@ -16,6 +16,7 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/partition.hh"
 #include "sim/sweep.hh"
 #include "stats/rows.hh"
 
@@ -89,6 +90,12 @@ writeAll(int fd, const std::string &bytes)
 [[noreturn]] void
 runWorker(const SupervisorTask &task, bool checkInvariants, int wfd)
 {
+    // Gang/pool worker threads do not survive fork(): any inherited
+    // pool bookkeeping would point at threads that no longer exist.
+    // Forcing the serial engine sidesteps them entirely — PDES
+    // output is bit-identical at every thread count, so isolated
+    // points lose only parallelism, never determinism.
+    pdes::setSimThreads(1);
     std::vector<std::string> rows;
     sim::Invariants inv;
     try {

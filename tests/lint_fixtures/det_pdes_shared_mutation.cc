@@ -1,0 +1,25 @@
+// det-pdes-shared-mutation fixture: handler lambdas may only mutate
+// their own partition (named `self`); cross-partition effects must
+// use Engine::send(). Setup code outside lambdas is exempt.
+
+#include "sim/pdes.hh"
+
+void
+setup(pdes::Engine &eng)
+{
+    pdes::Partition *a = eng.addPartition("a");
+    pdes::Partition *b = eng.addPartition("b");
+
+    a->schedule(1, [a, b, &eng] {  // ok: setup scope, outside lambda
+        pdes::Partition *self = a;
+        self->scheduleAfter(5, [] {});  // ok: partition-local via self
+        if (self->now() > 10 && !b->empty())  // ok: const accessors
+            return;
+        b->schedule(7, [] {});  // fires: peer queue from handler
+        a->scheduleAfter(3, [] {});  // fires: not named self
+        eng.send(*self, *b, self->now() + 4, [b] {
+            b->reset();  // fires: non-allowlisted mutating member
+        });
+    });
+    b->scheduleAfter(2, [] {});  // ok: setup scope again
+}

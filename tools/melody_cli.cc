@@ -19,12 +19,13 @@
  *   melody ras <wl> <srv> <mem> [plan]  fault-injection run, JSON
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
-
+#include <thread>
 #include <vector>
 
 #include "bench/figures.hh"
@@ -34,6 +35,8 @@
 #include "core/slowdown.hh"
 #include "ras/fault_plan.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
+#include "sim/partition.hh"
 #include "sim/run_cache.hh"
 #include "sim/sweep.hh"
 #include "spa/advisor.hh"
@@ -61,7 +64,8 @@ usage()
         "  melody sweep [--jobs N] [--no-cache] [--cache-dir D]\n"
         "               [--isolate] [--resume] [--retries N]\n"
         "               [--timeout-ms N] [--journal F]\n"
-        "               [--check-invariants] <figure...>|all\n"
+        "               [--check-invariants] [--pdes-stats]\n"
+        "               <figure...>|all\n"
         "  melody sweep --list\n"
         "  melody cache stats|clear [--cache-dir D]\n"
         "  melody period <workload> <memory> [periods]\n"
@@ -72,9 +76,18 @@ usage()
         "memory:  Local NUMA NUMA-140ns NUMA-190ns NUMA-410ns "
         "CXL-A..D CXL-X+NUMA CXL-X+Switch[2] CXL-Dx2\n"
         "faultplan: crc=<p>,ce=<p>,ue=<p>,scrub=<dur>,"
-        "offline@<t>[:devN],failover,... (see src/ras/fault_plan.hh)\n");
+        "offline@<t>[:devN],failover,... (see src/ras/fault_plan.hh)\n"
+        "global: --sim-threads N  worker threads inside each\n"
+        "        simulation (conservative PDES; output is\n"
+        "        bit-identical for every N). Composes with sweep\n"
+        "        --jobs: when --jobs is not given, jobs defaults\n"
+        "        to hardware/N so the combined budget stays at\n"
+        "        the machine size.\n");
     return 2;
 }
+
+/** Value of the global --sim-threads flag; 0 = not given. */
+unsigned g_simThreadsArg = 0;
 
 /** Strict numeric argument parsing: reject trailing garbage. */
 unsigned
@@ -200,6 +213,8 @@ int
 cmdSweepFigures(const std::vector<std::string> &args)
 {
     sweep::Options opts = sweep::optionsFromEnv();
+    bool jobsGiven = std::getenv("MELODY_SWEEP_JOBS") != nullptr;
+    bool pdesStats = false;
     std::vector<const figs::Figure *> picked;
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &a = args[i];
@@ -212,6 +227,9 @@ cmdSweepFigures(const std::vector<std::string> &args)
             if (i + 1 == args.size())
                 throw ConfigError("--jobs needs a value");
             opts.jobs = parseUnsignedArg(args[++i].c_str(), "--jobs");
+            jobsGiven = true;
+        } else if (a == "--pdes-stats") {
+            pdesStats = true;
         } else if (a == "--no-cache") {
             opts.cache = false;
         } else if (a == "--cache-dir") {
@@ -258,6 +276,17 @@ cmdSweepFigures(const std::vector<std::string> &args)
     if ((opts.isolate || opts.resume) && opts.journalPath.empty())
         opts.journalPath = "results/sweep-journal.jsonl";
 
+    // Combined thread budget: with --sim-threads N and no explicit
+    // --jobs, split the machine between point fan-out and intra-run
+    // gangs instead of oversubscribing N-fold.
+    if (g_simThreadsArg > 1 && !jobsGiven) {
+        const unsigned hw =
+            std::max(1u, std::thread::hardware_concurrency());
+        opts.jobs = std::max(1u, hw / g_simThreadsArg);
+    }
+    if (pdesStats)
+        pdes::StatsRegistry::instance().clear();
+
     // One engine run for the whole selection; each figure keeps its
     // own cache scope so entries are shared with the standalone
     // bench binaries.
@@ -267,6 +296,11 @@ cmdSweepFigures(const std::vector<std::string> &args)
         f->build(s);
     }
     const sweep::Sweep::Report rep = s.run(stdout);
+    // Utilization/imbalance report on stderr: stdout carries only
+    // figure bytes, which must stay identical across sim-threads.
+    if (pdesStats)
+        std::fprintf(stderr, "%s\n",
+                     pdes::StatsRegistry::instance().json().c_str());
     std::fprintf(stderr,
                  "melody sweep: %zu figure(s), %zu point(s), "
                  "%zu cache hit(s), %zu store(s), %zu corrupt\n",
@@ -531,7 +565,21 @@ int
 main(int argc, char **argv)
 {
     try {
-        return dispatch(argc, argv);
+        // --sim-threads is global (any subcommand that simulates
+        // honours it), so strip it before dispatch.
+        std::vector<char *> args;
+        for (int i = 0; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--sim-threads") == 0) {
+                if (i + 1 == argc)
+                    throw ConfigError("--sim-threads needs a value");
+                g_simThreadsArg = parseUnsignedArg(
+                    argv[++i], "--sim-threads");
+                pdes::setSimThreads(g_simThreadsArg);
+                continue;
+            }
+            args.push_back(argv[i]);
+        }
+        return dispatch(static_cast<int>(args.size()), args.data());
     } catch (const ConfigError &e) {
         // User-input errors end with a message + usage, never an
         // abort: scripts can distinguish bad flags (exit 2) from
